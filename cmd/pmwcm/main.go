@@ -1,0 +1,101 @@
+// Command pmwcm runs the reproduction experiments for "Private
+// Multiplicative Weights Beyond Linear Queries" (Ullman, PODS 2015).
+//
+// Usage:
+//
+//	pmwcm list                 # show all experiments
+//	pmwcm run all              # run every experiment
+//	pmwcm run T1.LIN F2.SV     # run selected experiments
+//	pmwcm run -quick -seed 7 all
+//	pmwcm run -csv T1.LIN      # emit CSV instead of an aligned table
+//
+// Each experiment prints a table plus the paper's predicted shape, so the
+// output can be compared against EXPERIMENTS.md directly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/expts"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		for _, e := range expts.All() {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+	case "run":
+		if err := runCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
+	case "synth":
+		if err := synthCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "pmwcm: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  pmwcm list
+  pmwcm run [-seed N] [-quick] [-csv] (all | ID...)
+  pmwcm synth [-in data.csv] [-out synth.csv] [-dim D] [-levels L] [-labels M]
+              [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]`)
+}
+
+func runCmd(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	seed := fs.Int64("seed", 1, "random seed for the experiment sweep")
+	quick := fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
+	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ids := fs.Args()
+	if len(ids) == 0 {
+		return fmt.Errorf("no experiments named; try 'pmwcm run all'")
+	}
+	var selected []expts.Experiment
+	if len(ids) == 1 && ids[0] == "all" {
+		selected = expts.All()
+	} else {
+		for _, id := range ids {
+			e, ok := expts.ByID(id)
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (see 'pmwcm list')", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+	cfg := expts.RunConfig{Seed: *seed, Quick: *quick}
+	for _, e := range selected {
+		tbl, err := e.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+		if *csv {
+			if err := tbl.CSV(os.Stdout); err != nil {
+				return err
+			}
+			fmt.Println()
+		} else if err := tbl.Write(os.Stdout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of Jonathan Ullman,
+// "Private Multiplicative Weights Beyond Linear Queries" (PODS 2015,
+// arXiv:1407.1571): a differentially private mechanism answering
+// exponentially many convex-minimization queries on one sensitive dataset.
+//
+// The root package holds the benchmark harness (bench_test.go), one
+// benchmark per paper table/figure; the implementation lives under
+// internal/ (see DESIGN.md for the system inventory and EXPERIMENTS.md for
+// paper-vs-measured results).
+package repro

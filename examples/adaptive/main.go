@@ -1,0 +1,135 @@
+// Adaptive: the generalization-error connection of paper §1.3.
+//
+// An adaptive analyst asks a batch of counting queries, then uses the
+// answers to craft one final query that deliberately chases the sampling
+// noise of the dataset (the classic "Freedman's paradox" / garden-of-
+// forking-paths attack from the adaptive data analysis literature
+// [DFH+15, HU14]). The final query's answer on the *sample* looks
+// significant; on the *population* it is null.
+//
+// Answering through a differentially private mechanism limits how much the
+// transcript can reveal about the sample's noise, so the private analyst's
+// final query overfits far less — the phenomenon Bassily et al. [BSSU15]
+// quantify using exactly the algorithms in this repository.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/convex"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/histogram"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+func main() {
+	const (
+		dim    = 10  // hypercube dimension (k = dim probe queries)
+		n      = 150 // small sample → visible sampling noise ~ 1/√n
+		trials = 20
+	)
+	u, err := universe.NewHypercube(dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Uniform population: every coordinate query has true answer 1/2.
+	pop := histogram.Uniform(u)
+
+	var gapExact, gapPrivate float64
+	for trial := 0; trial < trials; trial++ {
+		src := sample.New(int64(1000 + trial))
+		data := dataset.SampleFrom(src, pop, n)
+		d := data.Histogram()
+
+		probes := make([]*convex.LinearQuery, dim)
+		for j := range probes {
+			j := j
+			probes[j], err = convex.NewLinearQuery(fmt.Sprintf("x%d>0", j), func(x []float64) float64 {
+				if x[j] > 0 {
+					return 1
+				}
+				return 0
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+
+		// Analyst A: sees exact sample answers.
+		exactSigns := make([]float64, dim)
+		for j, q := range probes {
+			exactSigns[j] = signOf(q.ExactMinimize(d)[0] - 0.5)
+		}
+
+		// Analyst B: sees private PMW answers.
+		srv, err := core.New(core.Config{
+			Eps: 0.5, Delta: 1e-6, Alpha: 0.2, Beta: 0.05,
+			K: dim + 1, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: 4,
+		}, data, src.Split())
+		if err != nil {
+			log.Fatal(err)
+		}
+		privSigns := make([]float64, dim)
+		for j, q := range probes {
+			a, err := srv.Answer(q)
+			if err == core.ErrHalted {
+				// Budget exhausted: the analyst learns nothing further —
+				// fall back to the prior's answer 1/2 (sign +1). Less
+				// information for the attack, which is the point.
+				privSigns[j] = 1
+				continue
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			privSigns[j] = signOf(a[0] - 0.5)
+		}
+
+		// Final adversarial query: the fraction of coordinates agreeing
+		// with the observed deviations, averaged per record. Its population
+		// value is exactly 1/2 by symmetry; its sample value exceeds 1/2 by
+		// however much noise the analyst could see.
+		overfit := func(signs []float64) float64 {
+			q, err := convex.NewLinearQuery("chase-noise", func(x []float64) float64 {
+				var agree float64
+				for j := range signs {
+					if x[j]*signs[j] > 0 {
+						agree++
+					}
+				}
+				return agree / float64(dim)
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			return q.ExactMinimize(d)[0] - 0.5 // population value is 0.5
+		}
+		gapExact += overfit(exactSigns)
+		gapPrivate += overfit(privSigns)
+	}
+	gapExact /= trials
+	gapPrivate /= trials
+
+	fmt.Printf("adaptive overfitting demo (n=%d, %d probe queries, %d trials):\n", n, dim, trials)
+	fmt.Printf("  final-query sample-vs-population gap, exact answers:   %+.4f\n", gapExact)
+	fmt.Printf("  final-query sample-vs-population gap, private answers: %+.4f\n", gapPrivate)
+	fmt.Println("\nthe exact-answer analyst reconstructs the sample's noise and overfits;")
+	fmt.Println("the differentially private transcript reveals less, so the gap shrinks (§1.3).")
+	if math.Abs(gapPrivate) < math.Abs(gapExact) {
+		fmt.Println("observed: private < exact ✓")
+	} else {
+		fmt.Println("observed: no separation on these seeds (increase trials)")
+	}
+}
+
+func signOf(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,114 @@
+// Synthetic: release a differentially private synthetic dataset.
+//
+// Paper §4.3 remarks that the algorithm "can be modified to output a
+// synthetic dataset (namely, the final histogram D̂t used in the execution
+// of the algorithm)". This example drives the PMW server with a training
+// workload of counting queries, then releases row-level synthetic data
+// sampled from the final hypothesis — pure post-processing, no extra
+// privacy cost — and evaluates it on a *held-out* workload the server
+// never saw.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/convex"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+func main() {
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := sample.New(11)
+	pop, err := dataset.Skewed(g, 1.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := dataset.SampleFrom(src, pop, 300000)
+	d := data.Histogram()
+
+	srv, err := core.New(core.Config{
+		Eps: 1, Delta: 1e-6,
+		Alpha: 0.004, Beta: 0.05,
+		K: 500, S: 1,
+		Oracle:  erm.LaplaceLinear{},
+		TBudget: 15,
+	}, data, src.Split())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Train on 120 random halfspace counting queries.
+	train := pool(src.Split(), g, 120)
+	for _, q := range train {
+		if _, err := srv.Answer(q); err == core.ErrHalted {
+			break
+		} else if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Release synthetic rows from the final hypothesis.
+	synth, err := srv.SyntheticRows(src.Split(), 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sd := synth.Histogram()
+
+	// Evaluate on a held-out workload.
+	holdout := pool(src.Split(), g, 60)
+	var worstSynth, worstUniform float64
+	for _, q := range holdout {
+		truth := q.ExactMinimize(d)[0]
+		synthAns := q.ExactMinimize(sd)[0]
+		if e := math.Abs(synthAns - truth); e > worstSynth {
+			worstSynth = e
+		}
+		var uni float64
+		for i := 0; i < g.Size(); i++ {
+			uni += q.Predicate(g.Point(i))
+		}
+		uni /= float64(g.Size())
+		if e := math.Abs(uni - truth); e > worstUniform {
+			worstUniform = e
+		}
+	}
+	fmt.Printf("synthetic data release (n=%d → %d synthetic rows, %d MW updates):\n",
+		data.N(), synth.N(), srv.Updates())
+	fmt.Printf("  worst held-out counting-query error, synthetic data:  %.4f\n", worstSynth)
+	fmt.Printf("  worst held-out counting-query error, uniform baseline: %.4f\n", worstUniform)
+	fmt.Printf("  privacy spent ≤ (ε=%.2g, δ=%.2g) — sampling is free post-processing\n",
+		srv.Privacy().Eps, srv.Privacy().Delta)
+}
+
+// pool builds k random halfspace counting queries.
+func pool(src *sample.Source, g *universe.LabeledGrid, k int) []*convex.LinearQuery {
+	out := make([]*convex.LinearQuery, 0, k)
+	for i := 0; i < k; i++ {
+		w := src.UnitVec(g.Dim())
+		thresh := (src.Float64() - 0.5) * 0.5
+		lq, err := convex.NewLinearQuery(fmt.Sprintf("half%d", i), func(x []float64) float64 {
+			var s float64
+			for j := range w {
+				s += w[j] * x[j]
+			}
+			if s >= thresh {
+				return 1
+			}
+			return 0
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, lq)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package accuracy
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DPEstimate reports an empirical comparison of a mechanism's output
+// distribution on two adjacent datasets.
+type DPEstimate struct {
+	// WorstLogRatio is max over observed outcomes o (with enough mass on
+	// both sides) of |log(P_A(o) / P_B(o))| — an empirical lower bound on
+	// the privacy loss ε (up to sampling error).
+	WorstLogRatio float64
+	// Outcomes is the number of distinct outcomes observed.
+	Outcomes int
+	// Runs is the per-dataset sample count.
+	Runs int
+}
+
+// EstimateDP runs mechanism `m` many times on two (adjacent) inputs,
+// identified only through the seed handed to each run, and compares the
+// empirical output distributions. The mechanism must map its output to a
+// small discrete label (e.g. the ⊤/⊥ pattern of sparse vector, or the
+// index chosen by the exponential mechanism); minThreshold sets the
+// minimum per-side probability for an outcome to enter the ratio (rarer
+// outcomes have too much sampling error to be meaningful).
+//
+// This is a *sanity check*, not a proof: it can expose gross privacy bugs
+// (a mechanism ignoring its noise shows an infinite ratio) but cannot
+// verify δ-tail behaviour.
+func EstimateDP(runs int, minThreshold float64, runA, runB func(seed int64) string) (*DPEstimate, error) {
+	if runs < 100 {
+		return nil, fmt.Errorf("accuracy: need ≥ 100 runs, got %d", runs)
+	}
+	if minThreshold <= 0 || minThreshold >= 1 {
+		return nil, fmt.Errorf("accuracy: minThreshold %v must be in (0,1)", minThreshold)
+	}
+	countA := map[string]int{}
+	countB := map[string]int{}
+	for i := 0; i < runs; i++ {
+		countA[runA(int64(i))]++
+		countB[runB(int64(i))]++
+	}
+	keys := map[string]bool{}
+	for k := range countA {
+		keys[k] = true
+	}
+	for k := range countB {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		sorted = append(sorted, k)
+	}
+	sort.Strings(sorted)
+
+	worst := 0.0
+	for _, k := range sorted {
+		pa := float64(countA[k]) / float64(runs)
+		pb := float64(countB[k]) / float64(runs)
+		if pa < minThreshold || pb < minThreshold {
+			continue
+		}
+		if r := math.Abs(math.Log(pa / pb)); r > worst {
+			worst = r
+		}
+	}
+	return &DPEstimate{WorstLogRatio: worst, Outcomes: len(keys), Runs: runs}, nil
+}

@@ -1,0 +1,115 @@
+package convex
+
+import (
+	"math"
+
+	"repro/internal/histogram"
+	"repro/internal/universe"
+)
+
+// Loss is a convex loss function ℓ(θ; x) defining a CM query (paper §2.2).
+// The record x is the vector encoding of a universe element. Implementations
+// must be deterministic and safe for concurrent use.
+type Loss interface {
+	// Name identifies the loss instance (used in experiment reports).
+	Name() string
+	// Domain returns Θ.
+	Domain() Domain
+	// Value returns ℓ(θ; x).
+	Value(theta, x []float64) float64
+	// Grad writes ∇_θ ℓ(θ; x) into grad (len = Domain().Dim()).
+	Grad(grad, theta, x []float64)
+	// Lipschitz returns a certified bound L with ‖∇ℓ_x(θ)‖₂ ≤ L for all
+	// θ ∈ Θ and all x in the universe the loss was built for.
+	Lipschitz() float64
+	// StrongConvexity returns σ ≥ 0 such that ℓ is σ-strongly convex in θ
+	// (0 when merely convex).
+	StrongConvexity() float64
+}
+
+// GLM is implemented by losses of generalized-linear-model form (paper
+// §4.2.2): ℓ(θ; (x, y)) depends on θ only through the inner product ⟨θ, x⟩.
+// Scalar exposes the 1-dimensional profile, letting the GLM oracle in
+// internal/erm work in the reduced space.
+type GLM interface {
+	Loss
+	// Scalar returns ℓ′(z; y) and its derivative in z, where z = ⟨θ, x⟩
+	// and y is the record's label.
+	Scalar(z, y float64) (value, deriv float64)
+}
+
+// ExactSolvable is implemented by losses whose population minimizer has a
+// closed form. Solvers use it as a fast path; the generic projected-gradient
+// route must agree with it (tested in optimize).
+type ExactSolvable interface {
+	Loss
+	// ExactMinimize returns argmin_θ ℓ(θ; h) exactly.
+	ExactMinimize(h *histogram.Histogram) []float64
+}
+
+// ScaleBound returns the paper's scale parameter
+//
+//	S = max_{x, θ, θ′} |⟨θ − θ′, ∇ℓ_x(θ)⟩| ≤ diam(Θ) · Lipschitz(ℓ),
+//
+// the constant the algorithm's T, η and sensitivity computations use (§3.2).
+func ScaleBound(l Loss) float64 {
+	return l.Domain().Diameter() * l.Lipschitz()
+}
+
+// ValueOn returns the population loss ℓ(θ; D) = Σ_x D(x)·ℓ(θ; x).
+func ValueOn(l Loss, theta []float64, h *histogram.Histogram) float64 {
+	var s float64
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		s += p * l.Value(theta, h.U.Point(i))
+	}
+	return s
+}
+
+// GradOn writes the population gradient ∇ℓ(θ; D) = Σ_x D(x)·∇ℓ_x(θ) into
+// grad and returns it (allocating when nil).
+func GradOn(l Loss, grad, theta []float64, h *histogram.Histogram) []float64 {
+	d := l.Domain().Dim()
+	if grad == nil {
+		grad = make([]float64, d)
+	}
+	for i := range grad {
+		grad[i] = 0
+	}
+	g := make([]float64, d)
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		l.Grad(g, theta, h.U.Point(i))
+		for j := range grad {
+			grad[j] += p * g[j]
+		}
+	}
+	return grad
+}
+
+// CertifyLipschitz empirically verifies the loss's claimed Lipschitz bound
+// by evaluating gradient norms at the given probe parameters over the whole
+// universe, returning the largest observed norm. Tests compare it against
+// Lipschitz().
+func CertifyLipschitz(l Loss, u universe.Universe, probes [][]float64) float64 {
+	d := l.Domain().Dim()
+	g := make([]float64, d)
+	var worst float64
+	for _, th := range probes {
+		for i := 0; i < u.Size(); i++ {
+			l.Grad(g, th, u.Point(i))
+			var n2 float64
+			for _, v := range g {
+				n2 += v * v
+			}
+			if n := math.Sqrt(n2); n > worst {
+				worst = n
+			}
+		}
+	}
+	return worst
+}

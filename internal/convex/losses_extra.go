@@ -1,0 +1,181 @@
+package convex
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pinball is the smoothed quantile-regression loss: the pinball (check)
+// profile at quantile level τ, Huber-smoothed in a window of width `smooth`
+// around the kink so gradients exist everywhere:
+//
+//	ρ_τ(r) = τ·r          for r ≥ smooth
+//	       = (τ−1)·r      for r ≤ −smooth
+//	       = quadratic interpolation in between (matching value and slope)
+//
+// applied to the residual r = ⟨θ, feat(x)⟩ − y and normalized to be
+// 1-Lipschitz. Quantile regression is a standard member of the Lipschitz
+// CM-query family the paper targets.
+type Pinball struct {
+	name   string
+	dom    Domain
+	tau    float64
+	smooth float64
+	c      float64
+}
+
+// NewPinball constructs a smoothed pinball loss at quantile τ ∈ (0, 1).
+func NewPinball(name string, dom Domain, tau, smooth, featBound float64) (*Pinball, error) {
+	if tau <= 0 || tau >= 1 {
+		return nil, fmt.Errorf("convex: quantile level %v must be in (0,1)", tau)
+	}
+	if smooth <= 0 || featBound <= 0 {
+		return nil, fmt.Errorf("convex: pinball smoothing and featBound must be positive")
+	}
+	// |ρ′| ≤ max(τ, 1−τ) ≤ 1, so sup‖∇‖ ≤ featBound for c = 1.
+	return &Pinball{name: name, dom: dom, tau: tau, smooth: smooth, c: 1 / featBound}, nil
+}
+
+// Name returns the instance name.
+func (l *Pinball) Name() string { return l.name }
+
+// Domain returns Θ.
+func (l *Pinball) Domain() Domain { return l.dom }
+
+// Scalar returns the smoothed pinball profile and its derivative at
+// residual z − y.
+func (l *Pinball) Scalar(z, y float64) (float64, float64) {
+	r := z - y
+	s := l.smooth
+	tau := l.tau
+	switch {
+	case r >= s:
+		return l.c * (tau * r), l.c * tau
+	case r <= -s:
+		return l.c * ((tau - 1) * r), l.c * (tau - 1)
+	default:
+		// Quadratic bridge g(r) = a·r² + b·r with g′(±s) matching the
+		// linear slopes: g′(r) = ((τ−(τ−1))/(2s))·r + (τ+(τ−1))/2.
+		a := 1 / (4 * s) // (τ − (τ−1)) / (4s)
+		b := (2*tau - 1) / 2
+		return l.c * (a*r*r + b*r + s/4), l.c * (2*a*r + b)
+	}
+}
+
+// Value evaluates the loss; the record's last coordinate is the label.
+func (l *Pinball) Value(theta, x []float64) float64 {
+	d := l.dom.Dim()
+	var z float64
+	for i := 0; i < d; i++ {
+		z += theta[i] * x[i]
+	}
+	v, _ := l.Scalar(z, x[len(x)-1])
+	return v
+}
+
+// Grad writes the gradient.
+func (l *Pinball) Grad(grad, theta, x []float64) {
+	d := l.dom.Dim()
+	var z float64
+	for i := 0; i < d; i++ {
+		z += theta[i] * x[i]
+	}
+	_, dv := l.Scalar(z, x[len(x)-1])
+	for i := 0; i < d; i++ {
+		grad[i] = dv * x[i]
+	}
+}
+
+// Lipschitz returns 1.
+func (l *Pinball) Lipschitz() float64 { return 1 }
+
+// StrongConvexity returns 0.
+func (l *Pinball) StrongConvexity() float64 { return 0 }
+
+// Poisson is the (clamped) Poisson-regression negative log-likelihood in
+// GLM form: profile exp(z) − y·z for a non-negative count label y, with z
+// clamped to |z| ≤ zmax so the exponential's derivative — and hence the
+// Lipschitz constant — stays bounded over the domain. Normalized to be
+// 1-Lipschitz.
+type Poisson struct {
+	name string
+	dom  Domain
+	zmax float64
+	ymax float64
+	c    float64
+}
+
+// NewPoisson constructs a Poisson loss. zmax bounds |⟨θ, x⟩| over Θ × X
+// (e.g. diam(Θ)/2 · featBound) and ymax bounds the label.
+func NewPoisson(name string, dom Domain, zmax, ymax, featBound float64) (*Poisson, error) {
+	if zmax <= 0 || ymax <= 0 || featBound <= 0 {
+		return nil, fmt.Errorf("convex: poisson bounds must be positive")
+	}
+	// |profile′| ≤ e^zmax + ymax, chain rule multiplies by featBound.
+	c := 1 / ((math.Exp(zmax) + ymax) * featBound)
+	return &Poisson{name: name, dom: dom, zmax: zmax, ymax: ymax, c: c}, nil
+}
+
+// Name returns the instance name.
+func (l *Poisson) Name() string { return l.name }
+
+// Domain returns Θ.
+func (l *Poisson) Domain() Domain { return l.dom }
+
+// Scalar returns the profile c·(exp(z̄) − y⁺·z̄) and its derivative in z,
+// where z̄ clamps z to [−zmax, zmax] and y⁺ clamps the label to [0, ymax].
+// Outside the clamp the profile continues linearly (keeping convexity and
+// the Lipschitz bound).
+func (l *Poisson) Scalar(z, y float64) (float64, float64) {
+	if y < 0 {
+		y = 0
+	} else if y > l.ymax {
+		y = l.ymax
+	}
+	zc := z
+	if zc > l.zmax {
+		zc = l.zmax
+	} else if zc < -l.zmax {
+		zc = -l.zmax
+	}
+	base := math.Exp(zc) - y*zc
+	slope := math.Exp(zc) - y
+	// Linear continuation beyond the clamp preserves convexity.
+	return l.c * (base + slope*(z-zc)), l.c * slope
+}
+
+// Value evaluates the loss; the record's last coordinate is the label.
+func (l *Poisson) Value(theta, x []float64) float64 {
+	d := l.dom.Dim()
+	var z float64
+	for i := 0; i < d; i++ {
+		z += theta[i] * x[i]
+	}
+	v, _ := l.Scalar(z, x[len(x)-1])
+	return v
+}
+
+// Grad writes the gradient.
+func (l *Poisson) Grad(grad, theta, x []float64) {
+	d := l.dom.Dim()
+	var z float64
+	for i := 0; i < d; i++ {
+		z += theta[i] * x[i]
+	}
+	_, dv := l.Scalar(z, x[len(x)-1])
+	for i := 0; i < d; i++ {
+		grad[i] = dv * x[i]
+	}
+}
+
+// Lipschitz returns 1.
+func (l *Poisson) Lipschitz() float64 { return 1 }
+
+// StrongConvexity returns 0.
+func (l *Poisson) StrongConvexity() float64 { return 0 }
+
+// Compile-time GLM conformance checks for the extra losses.
+var (
+	_ GLM = (*Pinball)(nil)
+	_ GLM = (*Poisson)(nil)
+)

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/sample"
+	"repro/internal/universe"
+	"repro/internal/workload"
+)
+
+// BenchmarkAnswerByUniverseSize measures the per-query cost of the online
+// server as the universe grows — paper §4.3's complexity discussion: each
+// iteration is poly(n, d) except the histogram update, which costs Θ(|X|),
+// so per-query time must scale linearly in |X| (and the paper proves the
+// exponential dependence on d is inherent). Run with
+// `go test -bench=AnswerByUniverseSize ./internal/core/`.
+func BenchmarkAnswerByUniverseSize(b *testing.B) {
+	for _, d := range []int{6, 8, 10, 12} {
+		d := d
+		b.Run(fmt.Sprintf("X=2^%d", d), func(b *testing.B) {
+			u, err := universe.NewHypercube(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src := sample.New(1)
+			pop, err := dataset.Skewed(u, 1.2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			data := dataset.SampleFrom(src, pop, 20000)
+			srv, err := New(Config{
+				Eps: 1, Delta: 1e-6, Alpha: 0.02, Beta: 0.05,
+				K: 1 << 30, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: 1 << 20,
+			}, data, src.Split())
+			if err != nil {
+				b.Fatal(err)
+			}
+			qs, err := workload.Halfspaces(src.Split(), u, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := srv.Answer(qs[i%len(qs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

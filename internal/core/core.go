@@ -1,0 +1,405 @@
+// Package core implements the paper's primary contribution: Online Private
+// Multiplicative Weights for convex-minimization queries (Figure 3 of
+// Ullman, "Private Multiplicative Weights Beyond Linear Queries", PODS
+// 2015).
+//
+// The Server answers an adaptively chosen online sequence of CM queries
+// ℓ¹, …, ℓᵏ on a private dataset D under (ε, δ)-differential privacy. It
+// maintains a public hypothesis histogram D̂t (starting uniform) and, per
+// query ℓ:
+//
+//  1. computes the sensitive value q(D) = err_ℓ(D, D̂t) — how badly the
+//     hypothesis's minimizer performs on the true data — and feeds it to
+//     the online sparse vector algorithm (internal/sparse);
+//
+//  2. on ⊥ ("hypothesis already accurate"), answers with the public
+//     minimizer argmin_θ ℓ(θ; D̂t), spending no further privacy budget;
+//
+//  3. on ⊤, asks the single-query oracle A′ (internal/erm) for a private
+//     approximate minimizer θt, answers with it, and performs one
+//     multiplicative-weights update with the dual-certificate vector
+//
+//     u_t(x) = ⟨θt − θ̂t, ∇ℓ_x(θ̂t)⟩,    θ̂t = argmin_θ ℓ(θ; D̂t),
+//
+//     the paper's key novelty (Claim 3.5): first-order optimality converts
+//     "D̂t answers the CM query badly" into a linear query on which D̂t is
+//     also inaccurate, so the standard MW regret argument (Lemma 3.4) caps
+//     the number of updates at T = 64·S²·log|X|/α².
+//
+// Privacy (Theorem 3.9): SV gets (ε/2, δ/2); the ≤ T oracle calls get
+// (ε/2, δ/2) via the strong-composition schedule of Theorem 3.10. Accuracy
+// (Theorem 3.8): every query is answered with excess risk ≤ α provided n
+// exceeds both the oracle's requirement and the sparse-vector bound.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/convex"
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/histogram"
+	"repro/internal/mech"
+	"repro/internal/mw"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+	"repro/internal/sparse"
+	"repro/internal/vecmath"
+)
+
+// Config parameterizes the online PMW server.
+type Config struct {
+	// Eps, Delta is the total privacy budget of the whole interaction.
+	Eps, Delta float64
+	// Alpha is the target excess-risk accuracy; Beta the failure
+	// probability (Beta is used only for parameter bookkeeping).
+	Alpha, Beta float64
+	// K is the maximum number of queries the analyst may ask.
+	K int
+	// S is the scale parameter of the loss family:
+	// max |⟨θ−θ′, ∇ℓ_x(θ)⟩| ≤ S for every ℓ in the family. Use
+	// convex.ScaleBound on a representative loss.
+	S float64
+	// Oracle is the single-query algorithm A′.
+	Oracle erm.Oracle
+	// TBudget overrides the paper's worst-case update horizon
+	// T = 64·S²·log|X|/α² when positive. The paper's constant is safe but
+	// astronomically conservative; practical deployments (HLM12's MWEM
+	// experiments) run with far smaller T, which increases η and the
+	// per-call budget ε₀ while keeping the composition-based privacy
+	// accounting exactly valid. Worst-case accuracy guarantees then hold
+	// only for the overridden horizon.
+	TBudget int
+	// SolverIters bounds the public argmin solves (default 400).
+	SolverIters int
+	// Trace enables per-update diagnostics (costs extra computation and
+	// reads the private data for *reporting only*; leave off outside
+	// experiments).
+	Trace bool
+}
+
+// validate rejects malformed configurations.
+func (c Config) validate() error {
+	if err := (mech.Params{Eps: c.Eps, Delta: c.Delta}).Validate(); err != nil {
+		return err
+	}
+	if c.Delta == 0 {
+		return fmt.Errorf("core: the algorithm requires delta > 0 (Theorem 3.8)")
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("core: alpha %v must be in (0, 1]", c.Alpha)
+	}
+	if c.Beta <= 0 || c.Beta >= 1 {
+		return fmt.Errorf("core: beta %v must be in (0, 1)", c.Beta)
+	}
+	if c.K < 1 {
+		return fmt.Errorf("core: K %d must be ≥ 1", c.K)
+	}
+	if c.S <= 0 {
+		return fmt.Errorf("core: scale S %v must be positive", c.S)
+	}
+	if c.Oracle == nil {
+		return fmt.Errorf("core: nil oracle")
+	}
+	return nil
+}
+
+// Params are the derived algorithm parameters of Figure 3.
+type Params struct {
+	// T is the update budget 64·S²·log|X|/α².
+	T int
+	// Eta is the MW learning rate.
+	Eta float64
+	// Eps0, Delta0 is the per-oracle-call budget.
+	Eps0, Delta0 float64
+	// Alpha0 = α/4 is the oracle accuracy target; Beta0 = β/(2T) its
+	// failure probability.
+	Alpha0, Beta0 float64
+	// Sensitivity is the sparse-vector query sensitivity 3S/n.
+	Sensitivity float64
+}
+
+// UpdateTrace records one MW update, for the Figure-3 internals experiment.
+// All fields except QueryIndex/UpdateIndex read the private data and exist
+// purely for diagnostics.
+type UpdateTrace struct {
+	QueryIndex  int     // j: which analyst query triggered the update
+	UpdateIndex int     // t: 1-based update counter
+	TrueErr     float64 // err_ℓ(D, D̂t) before the update
+	Progress    float64 // ⟨u_t, D̂t − D⟩ (Claim 3.6 says > α/4 whp)
+	Potential   float64 // KL(D ‖ D̂t) before the update
+}
+
+// ErrHalted is returned by Answer once the server has stopped (sparse
+// vector exhausted its T tops or saw K queries).
+var ErrHalted = fmt.Errorf("core: server has halted")
+
+// Server is one interactive run of online PMW for CM queries. Not safe for
+// concurrent use: the analyst protocol is inherently sequential.
+type Server struct {
+	cfg    Config
+	params Params
+	data   *dataset.Dataset
+	hist   *histogram.Histogram // private histogram of data
+	src    *sample.Source
+	sv     *sparse.SV
+	state  *mw.State
+	orc    mech.Accountant
+
+	answered int
+	traces   []UpdateTrace
+}
+
+// New constructs a server for the given private dataset.
+func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if data == nil || data.N() == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil random source")
+	}
+	xsize := data.U.Size()
+	T := mw.UpdateBudget(cfg.S, cfg.Alpha, xsize)
+	if cfg.TBudget > 0 {
+		T = cfg.TBudget
+	}
+	eta := mw.Eta(cfg.S, T, xsize)
+	// Oracle calls: T-fold strong composition inside an (ε/2, δ/2) slice.
+	eps0, delta0, err := mech.SplitBudget(cfg.Eps/2, cfg.Delta/2, T)
+	if err != nil {
+		return nil, err
+	}
+	p := Params{
+		T:           T,
+		Eta:         eta,
+		Eps0:        eps0,
+		Delta0:      delta0,
+		Alpha0:      cfg.Alpha / 4,
+		Beta0:       cfg.Beta / (2 * float64(T)),
+		Sensitivity: 3 * cfg.S / float64(data.N()),
+	}
+	sv, err := sparse.New(sparse.Config{
+		T:           T,
+		K:           cfg.K,
+		Alpha:       cfg.Alpha,
+		Eps:         cfg.Eps / 2,
+		Delta:       cfg.Delta / 2,
+		Sensitivity: p.Sensitivity,
+	}, src.Split())
+	if err != nil {
+		return nil, err
+	}
+	state, err := mw.New(data.U, eta, cfg.S)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:    cfg,
+		params: p,
+		data:   data,
+		hist:   data.Histogram(),
+		src:    src,
+		sv:     sv,
+		state:  state,
+	}, nil
+}
+
+// Params returns the derived Figure-3 parameters.
+func (s *Server) Params() Params { return s.params }
+
+// Halted reports whether the server has stopped answering.
+func (s *Server) Halted() bool { return s.sv.Halted() }
+
+// Updates returns the number of MW updates performed so far (t−1 in the
+// paper's indexing).
+func (s *Server) Updates() int { return s.state.Updates() }
+
+// Answered returns the number of queries answered so far.
+func (s *Server) Answered() int { return s.answered }
+
+// Hypothesis returns the current public hypothesis D̂t. Per the paper's
+// §4.3 remark, this doubles as a differentially private synthetic dataset:
+// it is a post-processing of the mechanism's private interactions.
+func (s *Server) Hypothesis() *histogram.Histogram { return s.state.Histogram().Clone() }
+
+// SyntheticRows samples m records from the current hypothesis — a
+// row-level synthetic dataset release (§4.3: "our algorithm indeed can be
+// modified to output a synthetic dataset"). The sampling is pure
+// post-processing of the private hypothesis, so it carries no additional
+// privacy cost.
+func (s *Server) SyntheticRows(src *sample.Source, m int) (*dataset.Dataset, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("core: synthetic size %d must be ≥ 1", m)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("core: nil random source")
+	}
+	rows := s.state.Histogram().SampleRows(src, m)
+	return dataset.New(s.data.U, rows)
+}
+
+// Traces returns the per-update diagnostics collected so far (empty unless
+// Config.Trace).
+func (s *Server) Traces() []UpdateTrace { return s.traces }
+
+// Privacy returns the server's total (ε, δ) guarantee: the SV slice plus
+// the strong-composition bound over the oracle calls actually made.
+func (s *Server) Privacy() mech.Params {
+	p := s.sv.Privacy() // (ε/2, δ/2)
+	if s.orc.Count() > 0 {
+		// ≤ T calls at (ε₀, δ₀) compose to at most (ε/2, δ/2) by the
+		// budget-splitting schedule; report the bound for the calls made.
+		adv, err := s.orc.AdvancedTotal(s.cfg.Delta / 4)
+		if err == nil {
+			p.Eps += adv.Eps
+			p.Delta += adv.Delta
+		} else {
+			// Fall back to the schedule's worst case.
+			p.Eps += s.cfg.Eps / 2
+			p.Delta += s.cfg.Delta / 2
+		}
+	}
+	return p
+}
+
+// publicMin solves argmin_θ ℓ(θ; D̂t) on the public hypothesis.
+func (s *Server) publicMin(l convex.Loss) ([]float64, error) {
+	iters := s.cfg.SolverIters
+	if iters <= 0 {
+		iters = 400
+	}
+	res, err := optimize.Minimize(l, s.state.Histogram(), optimize.Options{MaxIters: iters})
+	if err != nil {
+		return nil, err
+	}
+	return res.Theta, nil
+}
+
+// privateErr computes the sensitive SV query value
+// q(D) = err_ℓ(D, D̂t) = ℓ_D(θ̂t) − min_θ ℓ_D(θ), given θ̂t.
+func (s *Server) privateErr(l convex.Loss, thetaHat []float64) (float64, error) {
+	iters := s.cfg.SolverIters
+	if iters <= 0 {
+		iters = 400
+	}
+	minD, err := optimize.MinValue(l, s.hist, optimize.Options{MaxIters: iters})
+	if err != nil {
+		return 0, err
+	}
+	e := convex.ValueOn(l, thetaHat, s.hist) - minD
+	if e < 0 {
+		e = 0
+	}
+	return e, nil
+}
+
+// Answer processes the analyst's next loss function and returns the
+// private answer θ̂ʲ. It returns ErrHalted once the server has stopped.
+func (s *Server) Answer(l convex.Loss) ([]float64, error) {
+	if s.Halted() {
+		return nil, ErrHalted
+	}
+	if got := convex.ScaleBound(l); got > s.cfg.S+1e-9 {
+		return nil, fmt.Errorf("core: query scale bound %v exceeds configured S = %v", got, s.cfg.S)
+	}
+
+	// θ̂t: public minimizer on the current hypothesis.
+	thetaHat, err := s.publicMin(l)
+	if err != nil {
+		return nil, err
+	}
+	// Sensitive query value for SV.
+	qval, err := s.privateErr(l, thetaHat)
+	if err != nil {
+		return nil, err
+	}
+	top, err := s.sv.Query(qval)
+	if err != nil {
+		if err == sparse.ErrHalted {
+			return nil, ErrHalted
+		}
+		return nil, err
+	}
+	s.answered++
+	if !top {
+		return thetaHat, nil
+	}
+
+	// ⊤: private single-query solve, then MW update.
+	theta, err := s.cfg.Oracle.Answer(s.src, l, s.data, s.params.Eps0, s.params.Delta0)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle %q failed: %w", s.cfg.Oracle.Name(), err)
+	}
+	s.orc.Spend(mech.Params{Eps: s.params.Eps0, Delta: s.params.Delta0})
+	// Defensive post-processing: an oracle returning a point outside Θ
+	// would break the scale bound on the MW update vector (|u_t| ≤ S needs
+	// θt, θ̂t ∈ Θ). Projection is free — it is post-processing of an
+	// already-private answer.
+	if dom := l.Domain(); len(theta) != dom.Dim() {
+		return nil, fmt.Errorf("core: oracle %q returned dimension %d, want %d",
+			s.cfg.Oracle.Name(), len(theta), dom.Dim())
+	} else if !dom.Contains(theta, 1e-9) {
+		theta = dom.Project(theta)
+	}
+
+	if err := s.update(l, theta, thetaHat, qval); err != nil {
+		return nil, err
+	}
+	return theta, nil
+}
+
+// update applies the dual-certificate MW step of Figure 3.
+func (s *Server) update(l convex.Loss, theta, thetaHat []float64, qval float64) error {
+	u := s.data.U
+	d := l.Domain().Dim()
+	dir := vecmath.Sub(theta, thetaHat)
+	grad := make([]float64, d)
+	uvec := make([]float64, u.Size())
+	for i := 0; i < u.Size(); i++ {
+		l.Grad(grad, thetaHat, u.Point(i))
+		v := vecmath.Dot(dir, grad)
+		// Clamp tiny overshoot of the certified scale bound; anything
+		// larger is a real contract violation that mw.Update will reject.
+		if v > s.cfg.S && v <= s.cfg.S*(1+1e-12) {
+			v = s.cfg.S
+		} else if v < -s.cfg.S && v >= -s.cfg.S*(1+1e-12) {
+			v = -s.cfg.S
+		}
+		uvec[i] = v
+	}
+
+	if s.cfg.Trace {
+		prog := vecmath.Dot(uvec, vecmath.Sub(s.state.Histogram().P, s.hist.P))
+		s.traces = append(s.traces, UpdateTrace{
+			QueryIndex:  s.answered,
+			UpdateIndex: s.state.Updates() + 1,
+			TrueErr:     qval,
+			Progress:    prog,
+			Potential:   clampKL(s.state.Potential(s.hist)),
+		})
+	}
+	return s.state.Update(uvec)
+}
+
+// clampKL guards +Inf potentials (empty hypothesis support) for traces.
+func clampKL(v float64) float64 {
+	if math.IsInf(v, 1) {
+		return math.MaxFloat64
+	}
+	return v
+}
+
+// MinDatasetSize returns Theorem 3.8's sample-size requirement
+// n ≥ 4096·S²·√(log|X|·log(4/δ))·log(8k/β) / (ε·α²), excluding the
+// oracle's own n′ requirement (which depends on the oracle).
+func MinDatasetSize(cfg Config, universeSize int) int {
+	n := 4096 * cfg.S * cfg.S *
+		math.Sqrt(math.Log(float64(universeSize))*math.Log(4/cfg.Delta)) *
+		math.Log(8*float64(cfg.K)/cfg.Beta) /
+		(cfg.Eps * cfg.Alpha * cfg.Alpha)
+	return int(n) + 1
+}

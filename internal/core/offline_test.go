@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/convex"
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// pointIndicator is the linear query "is the record exactly universe
+// element idx".
+func pointIndicator(t *testing.T, g *universe.LabeledGrid, idx int) convex.Loss {
+	t.Helper()
+	target := g.Point(idx)
+	lq, err := convex.NewLinearQuery("indicator", func(x []float64) float64 {
+		for i := range target {
+			if math.Abs(x[i]-target[i]) > 1e-9 {
+				return 0
+			}
+		}
+		return 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lq
+}
+
+func validOfflineConfig() OfflineConfig {
+	return OfflineConfig{
+		Eps: 1, Delta: 1e-6,
+		Rounds: 8,
+		S:      1,
+		Oracle: erm.LaplaceLinear{},
+	}
+}
+
+func TestOfflineValidation(t *testing.T) {
+	g := testGrid(t)
+	data := skewedData(t, g, 1000, 1)
+	src := sample.New(1)
+	pool := linearPool(t, g, 3, 2)
+	mutations := []func(*OfflineConfig){
+		func(c *OfflineConfig) { c.Eps = 0 },
+		func(c *OfflineConfig) { c.Delta = 0 },
+		func(c *OfflineConfig) { c.Rounds = 0 },
+		func(c *OfflineConfig) { c.S = 0 },
+		func(c *OfflineConfig) { c.Oracle = nil },
+	}
+	for i, m := range mutations {
+		cfg := validOfflineConfig()
+		m(&cfg)
+		if _, err := AnswerOffline(cfg, data, src, pool); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+	if _, err := AnswerOffline(validOfflineConfig(), data, src, nil); err == nil {
+		t.Error("empty query set accepted")
+	}
+	cfg := validOfflineConfig()
+	cfg.S = 0.1
+	if _, err := AnswerOffline(cfg, data, src, pool); err == nil {
+		t.Error("oversized queries accepted")
+	}
+}
+
+func TestOfflineEndToEnd(t *testing.T) {
+	g := testGrid(t)
+	data := skewedData(t, g, 60000, 3)
+	pool := linearPool(t, g, 30, 4)
+	cfg := validOfflineConfig()
+	cfg.Rounds = 10
+	res, err := AnswerOffline(cfg, data, sample.New(5), pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != len(pool) {
+		t.Fatalf("answers = %d, want %d", len(res.Answers), len(pool))
+	}
+	if len(res.Selected) != cfg.Rounds {
+		t.Fatalf("selected = %d, want %d", len(res.Selected), cfg.Rounds)
+	}
+	for _, idx := range res.Selected {
+		if idx < 0 || idx >= len(pool) {
+			t.Fatalf("selected index %d out of range", idx)
+		}
+	}
+	if err := res.Hypothesis.Validate(); err != nil {
+		t.Fatalf("hypothesis invalid: %v", err)
+	}
+	d := data.Histogram()
+	var maxErr float64
+	for i, l := range pool {
+		e, err := optimize.Excess(l, res.Answers[i], d, optimize.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.2 {
+		t.Errorf("offline max excess = %v", maxErr)
+	}
+}
+
+// The offline selector must prefer high-error queries: a pool with one
+// drastically misanswered query (under the uniform prior) should see that
+// query selected in the first round most of the time.
+func TestOfflineSelectsWorstQuery(t *testing.T) {
+	g := testGrid(t)
+	// Point-mass dataset: query "is x == that point" has uniform-prior
+	// answer 1/|X| but true answer 1 — maximal error.
+	pm, err := dataset.PointMass(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sample.New(6)
+	data := dataset.SampleFrom(src, pm, 50000)
+	pool := linearPool(t, g, 10, 7)
+	// Append the point-mass indicator query as index 10.
+	pool = append(pool, pointIndicator(t, g, 0))
+	cfg := validOfflineConfig()
+	cfg.Rounds = 1
+	var hits int
+	trials := 10
+	for i := 0; i < trials; i++ {
+		res, err := AnswerOffline(cfg, data, sample.New(int64(100+i)), pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Selected[0] == 10 {
+			hits++
+		}
+	}
+	if hits < trials/2 {
+		t.Errorf("worst query selected only %d/%d times", hits, trials)
+	}
+}

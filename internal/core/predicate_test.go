@@ -1,0 +1,40 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/convex"
+	"repro/internal/sample"
+)
+
+// badPredicateQuery returns a linear query whose predicate violates the
+// [0, 1] contract.
+func badPredicateQuery(t *testing.T) *convex.LinearQuery {
+	t.Helper()
+	q, err := convex.NewLinearQuery("bad", func(x []float64) float64 { return 2 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestLinearPMWRejectsBadPredicate(t *testing.T) {
+	g := testGrid(t)
+	data := skewedData(t, g, 10000, 70)
+	srv, err := NewLinearPMW(LinearPMWConfig{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 10}, data, sample.New(71))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Answer(badPredicateQuery(t)); err == nil {
+		t.Error("predicate outside [0,1] accepted")
+	}
+}
+
+func TestMWEMRejectsBadPredicate(t *testing.T) {
+	g := testGrid(t)
+	data := skewedData(t, g, 10000, 72)
+	_, err := MWEM(MWEMConfig{Eps: 1, Rounds: 3}, data, sample.New(73), []*convex.LinearQuery{badPredicateQuery(t)})
+	if err == nil {
+		t.Error("predicate outside [0,1] accepted")
+	}
+}

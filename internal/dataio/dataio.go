@@ -1,0 +1,86 @@
+// Package dataio loads and stores row-level datasets as CSV, bridging
+// external data and the library's finite-universe model.
+//
+// Loading applies the rounding map of paper §1.1: each numeric CSV row is
+// snapped to its nearest universe element before any private computation
+// sees it. (Rounding is a per-record, data-independent map, so it composes
+// with the mechanisms' privacy guarantees unchanged.) Storing writes a
+// dataset's records — e.g. a synthetic dataset released by the server —
+// back out as CSV.
+package dataio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/universe"
+)
+
+// LoadCSV reads numeric rows (one record per line, Dim() columns, optional
+// header) and rounds each onto the universe. Rows with the wrong column
+// count or non-numeric cells are rejected with their line number.
+func LoadCSV(r io.Reader, u universe.Universe, hasHeader bool) (*dataset.Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = u.Dim()
+	var rows []int
+	line := 0
+	if hasHeader {
+		if _, err := cr.Read(); err != nil {
+			return nil, fmt.Errorf("dataio: reading header: %w", err)
+		}
+		line++
+	}
+	vec := make([]float64, u.Dim())
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dataio: line %d: %w", line, err)
+		}
+		for i, cell := range rec {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataio: line %d column %d: %w", line, i+1, err)
+			}
+			vec[i] = v
+		}
+		rows = append(rows, universe.Nearest(u, vec))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataio: no data rows")
+	}
+	return dataset.New(u, rows)
+}
+
+// StoreCSV writes the dataset's records as numeric CSV with the given
+// column names as header (pass nil for no header). Column count must match
+// the universe dimension when a header is given.
+func StoreCSV(w io.Writer, d *dataset.Dataset, header []string) error {
+	cw := csv.NewWriter(w)
+	if header != nil {
+		if len(header) != d.U.Dim() {
+			return fmt.Errorf("dataio: header has %d columns, universe dim is %d", len(header), d.U.Dim())
+		}
+		if err := cw.Write(header); err != nil {
+			return err
+		}
+	}
+	cells := make([]string, d.U.Dim())
+	for _, r := range d.Rows {
+		p := d.U.Point(r)
+		for i, v := range p {
+			cells[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(cells); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,125 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/universe"
+)
+
+func pointsUniverse(t *testing.T) *universe.Points {
+	t.Helper()
+	u, err := universe.NewPoints([][]float64{
+		{0, 0}, {1, 0}, {0, 1}, {1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestLoadCSV(t *testing.T) {
+	u := pointsUniverse(t)
+	in := "0.1,0.2\n0.9,0.1\n0.2,1.1\n"
+	d, err := LoadCSV(strings.NewReader(in), u, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 1, 2}
+	if d.N() != 3 {
+		t.Fatalf("N = %d", d.N())
+	}
+	for i, r := range d.Rows {
+		if r != want[i] {
+			t.Errorf("row %d = %d, want %d", i, r, want[i])
+		}
+	}
+}
+
+func TestLoadCSVHeader(t *testing.T) {
+	u := pointsUniverse(t)
+	in := "x,y\n1.0,1.0\n"
+	d, err := LoadCSV(strings.NewReader(in), u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N() != 1 || d.Rows[0] != 3 {
+		t.Fatalf("rows = %v", d.Rows)
+	}
+	// Header parsing without hasHeader fails on the non-numeric cells.
+	if _, err := LoadCSV(strings.NewReader(in), u, false); err == nil {
+		t.Error("header row parsed as data")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	u := pointsUniverse(t)
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"empty", ""},
+		{"wrong columns", "1,2,3\n"},
+		{"non numeric", "a,b\n"},
+		{"short row", "1\n"},
+	}
+	for _, c := range cases {
+		if _, err := LoadCSV(strings.NewReader(c.in), u, false); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}
+
+func TestStoreLoadRoundTrip(t *testing.T) {
+	u := pointsUniverse(t)
+	d, err := dataset.New(u, []int{3, 0, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := StoreCSV(&buf, d, []string{"x", "y"}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCSV(&buf, u, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N() != d.N() {
+		t.Fatalf("N = %d", back.N())
+	}
+	for i := range d.Rows {
+		if back.Rows[i] != d.Rows[i] {
+			t.Errorf("row %d = %d, want %d", i, back.Rows[i], d.Rows[i])
+		}
+	}
+}
+
+func TestStoreCSVHeaderValidation(t *testing.T) {
+	u := pointsUniverse(t)
+	d, _ := dataset.New(u, []int{0})
+	var buf bytes.Buffer
+	if err := StoreCSV(&buf, d, []string{"only-one"}); err == nil {
+		t.Error("mismatched header accepted")
+	}
+	// nil header is fine.
+	if err := StoreCSV(&buf, d, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 1 {
+		t.Errorf("output = %q", buf.String())
+	}
+}
+
+func TestLoadCSVRoundsToNearest(t *testing.T) {
+	// Values far from any point still round (§1.1 rounding is total).
+	u := pointsUniverse(t)
+	d, err := LoadCSV(strings.NewReader("100,100\n"), u, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Rows[0] != 3 { // (1,1) is nearest to (100,100)
+		t.Errorf("rounded to %d", d.Rows[0])
+	}
+}

@@ -1,0 +1,193 @@
+// Package dataset provides row-level datasets over finite universes and the
+// synthetic workload generators used by the experiments.
+//
+// The paper evaluates nothing empirically, but its introduction motivates
+// the query families with concrete analyses — linear regression, logistic
+// regression, SVMs — over datasets of n individuals. The generators here
+// produce exactly those shapes: ground-truth parameter θ*, features drawn
+// from the universe, labels from the corresponding linear/logistic model,
+// then rounded back onto the universe grid per §1.1.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/histogram"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// Dataset is an ordered collection of rows, each an index into a finite
+// universe. Order matters only for defining adjacency (replace row j).
+type Dataset struct {
+	U    universe.Universe
+	Rows []int
+}
+
+// New validates row indices and wraps them.
+func New(u universe.Universe, rows []int) (*Dataset, error) {
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("dataset: no rows")
+	}
+	for j, r := range rows {
+		if r < 0 || r >= u.Size() {
+			return nil, fmt.Errorf("dataset: row %d index %d outside universe size %d", j, r, u.Size())
+		}
+	}
+	return &Dataset{U: u, Rows: rows}, nil
+}
+
+// N returns the number of rows n.
+func (d *Dataset) N() int { return len(d.Rows) }
+
+// Histogram returns the histogram representation of the dataset.
+func (d *Dataset) Histogram() *histogram.Histogram {
+	h, err := histogram.FromRows(d.U, d.Rows)
+	if err != nil {
+		// Construction validated rows; a failure here is a programmer error.
+		panic("dataset: invalid internal state: " + err.Error())
+	}
+	return h
+}
+
+// Adjacent returns the neighbouring dataset with row j replaced by universe
+// element v.
+func (d *Dataset) Adjacent(j, v int) *Dataset {
+	return &Dataset{U: d.U, Rows: histogram.AdjacentRows(d.Rows, j, v)}
+}
+
+// SampleFrom draws n i.i.d. rows from the population distribution pop.
+// This is the sampling model of §1.3 (generalization error experiments):
+// pop is the unknown population, the result is the analyst's sample.
+func SampleFrom(src *sample.Source, pop *histogram.Histogram, n int) *Dataset {
+	return &Dataset{U: pop.U, Rows: pop.SampleRows(src, n)}
+}
+
+// LinearModel generates a linear-regression population over a labeled grid:
+// features x are uniform over the feature grid, labels follow
+// y = ⟨θ*, x⟩ + N(0, noise²), and the pair (x, y) is rounded to the nearest
+// universe element. The returned histogram is the induced population
+// distribution; sample from it with SampleFrom.
+func LinearModel(src *sample.Source, g *universe.LabeledGrid, theta []float64, noise float64, draws int) (*histogram.Histogram, error) {
+	if len(theta) != g.FeatureDim() {
+		return nil, fmt.Errorf("dataset: theta dim %d != feature dim %d", len(theta), g.FeatureDim())
+	}
+	return modelPopulation(src, g, draws, func(x []float64) float64 {
+		var dot float64
+		for i, ti := range theta {
+			dot += ti * x[i]
+		}
+		return dot + src.Gaussian(0, noise)
+	})
+}
+
+// LogisticModel generates a binary-classification population: features
+// uniform over the grid, label +r with probability sigmoid(⟨θ*,x⟩/temp) and
+// −r otherwise, where r is the grid's label radius (recovered by rounding).
+func LogisticModel(src *sample.Source, g *universe.LabeledGrid, theta []float64, temp float64, draws int) (*histogram.Histogram, error) {
+	if len(theta) != g.FeatureDim() {
+		return nil, fmt.Errorf("dataset: theta dim %d != feature dim %d", len(theta), g.FeatureDim())
+	}
+	if temp <= 0 {
+		return nil, fmt.Errorf("dataset: temperature must be positive")
+	}
+	return modelPopulation(src, g, draws, func(x []float64) float64 {
+		var dot float64
+		for i, ti := range theta {
+			dot += ti * x[i]
+		}
+		p := 1 / (1 + math.Exp(-dot/temp))
+		if src.Bernoulli(p) {
+			return math.Inf(1) // rounds to the largest label on the grid
+		}
+		return math.Inf(-1)
+	})
+}
+
+// modelPopulation builds a population histogram by Monte-Carlo: draw a
+// random universe feature pattern, compute a label, round (x, label) to the
+// nearest universe element, and accumulate counts over `draws` repetitions.
+func modelPopulation(src *sample.Source, g *universe.LabeledGrid, draws int, label func(x []float64) float64) (*histogram.Histogram, error) {
+	if draws < 1 {
+		return nil, fmt.Errorf("dataset: draws must be ≥ 1")
+	}
+	d := g.Dim()
+	counts := make([]int, g.Size())
+	point := make([]float64, d)
+	for i := 0; i < draws; i++ {
+		// Uniform universe element supplies the feature pattern; only its
+		// label coordinate is replaced by the model's label.
+		base := g.Point(src.Intn(g.Size()))
+		copy(point, base)
+		y := label(base[:d-1])
+		// Clamp infinities (used by LogisticModel to mean "extreme label")
+		// into values Nearest can round.
+		if math.IsInf(y, 1) {
+			y = math.MaxFloat64 / 2
+		} else if math.IsInf(y, -1) {
+			y = -math.MaxFloat64 / 2
+		}
+		point[d-1] = y
+		counts[universe.Nearest(g, point)]++
+	}
+	return histogram.FromCounts(g, counts)
+}
+
+// Skewed returns a Zipf-like population over u: element i gets weight
+// 1/(i+1)^s. Skewed populations make the MW update's job non-trivial (the
+// uniform prior D̂¹ is far from D in KL), exercising the full T-update
+// budget of the algorithm.
+func Skewed(u universe.Universe, s float64) (*histogram.Histogram, error) {
+	if s < 0 {
+		return nil, fmt.Errorf("dataset: skew exponent must be ≥ 0")
+	}
+	p := make([]float64, u.Size())
+	var z float64
+	for i := range p {
+		p[i] = 1 / math.Pow(float64(i+1), s)
+		z += p[i]
+	}
+	for i := range p {
+		p[i] /= z
+	}
+	return histogram.FromProbs(u, p)
+}
+
+// PointMass returns the population concentrated on a single universe
+// element — the adversarial extreme for MW (maximal initial KL).
+func PointMass(u universe.Universe, idx int) (*histogram.Histogram, error) {
+	if idx < 0 || idx >= u.Size() {
+		return nil, fmt.Errorf("dataset: point-mass index %d outside universe size %d", idx, u.Size())
+	}
+	p := make([]float64, u.Size())
+	p[idx] = 1
+	return histogram.FromProbs(u, p)
+}
+
+// Mixture returns a population that is a convex combination of point masses
+// at the given universe elements with the given weights (normalized here).
+func Mixture(u universe.Universe, elems []int, weights []float64) (*histogram.Histogram, error) {
+	if len(elems) == 0 || len(elems) != len(weights) {
+		return nil, fmt.Errorf("dataset: mixture needs equal, non-empty elems and weights")
+	}
+	p := make([]float64, u.Size())
+	var z float64
+	for i, e := range elems {
+		if e < 0 || e >= u.Size() {
+			return nil, fmt.Errorf("dataset: mixture element %d outside universe", e)
+		}
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("dataset: negative mixture weight")
+		}
+		p[e] += weights[i]
+		z += weights[i]
+	}
+	if z == 0 {
+		return nil, fmt.Errorf("dataset: mixture weights sum to zero")
+	}
+	for i := range p {
+		p[i] /= z
+	}
+	return histogram.FromProbs(u, p)
+}

@@ -1,0 +1,251 @@
+// Package erm implements differentially private oracles for a *single*
+// convex-minimization query — the black box A′ that paper Figure 3 consumes
+// and §4.2 instantiates:
+//
+//   - NoisyGD        — noisy projected gradient descent, the generic
+//     Lipschitz/bounded oracle in the style of Bassily–Smith–Thakurta
+//     (paper Theorem 4.1);
+//   - OutputPerturbation — exact minimization plus calibrated output noise,
+//     valid for σ-strongly convex losses in the style of
+//     Chaudhuri–Monteleoni–Sarwate (paper Theorem 4.5 regime);
+//   - NetExpMech     — exponential mechanism over a public candidate net,
+//     a generic fallback for any bounded loss;
+//   - GLMReduction   — random-projection reduction for unconstrained
+//     generalized linear models in the spirit of Jain–Thakurta (paper
+//     Theorem 4.3): optimization happens in a low-dimensional projected
+//     space, so error does not grow with the ambient dimension d;
+//   - NonPrivate     — the exact minimizer, as an accuracy ceiling for
+//     experiments (not DP; refuses to report a privacy guarantee).
+//
+// Every oracle satisfies the same contract: Answer(src, ℓ, D, ε, δ) is
+// (ε, δ)-DP with respect to replacing one row of D, and returns a point of
+// the loss's domain. The paper's algorithm only relies on this contract
+// (assumptions (2) in §3.3), so oracles are interchangeable; the
+// experiments exploit that to reproduce the separate rows of Table 1.
+package erm
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/convex"
+	"repro/internal/dataset"
+	"repro/internal/mech"
+	"repro/internal/optimize"
+	"repro/internal/sample"
+	"repro/internal/vecmath"
+)
+
+// Oracle answers one CM query under (ε, δ)-differential privacy.
+type Oracle interface {
+	// Name identifies the oracle in reports.
+	Name() string
+	// Answer returns a private approximate minimizer of l on data.
+	Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error)
+}
+
+// gradSensitivity returns the L2 sensitivity of the average gradient under
+// row replacement: ‖(1/n)(∇ℓ(θ;x) − ∇ℓ(θ;x′))‖ ≤ 2L/n.
+func gradSensitivity(l convex.Loss, n int) float64 {
+	return 2 * l.Lipschitz() / float64(n)
+}
+
+// NoisyGD is noisy projected full-gradient descent: Iters steps of
+//
+//	θ_{t+1} = Proj_Θ(θ_t − γ_t·(∇ℓ(θ_t; D) + N(0, σ²·I)))
+//
+// with σ calibrated so the whole run is (ε, δ)-DP via the paper's
+// budget-splitting schedule (Theorem 3.10). It returns the projected
+// average iterate. The full gradient is computed from the dataset's
+// histogram, which is exact and costs O(|X|·d) per step.
+type NoisyGD struct {
+	// Iters is the number of gradient steps (default 64).
+	Iters int
+}
+
+// Name implements Oracle.
+func (o NoisyGD) Name() string { return "noisygd" }
+
+// Answer implements Oracle.
+func (o NoisyGD) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
+	iters := o.Iters
+	if iters <= 0 {
+		iters = 64
+	}
+	if err := (mech.Params{Eps: eps, Delta: delta}).Validate(); err != nil {
+		return nil, err
+	}
+	if delta == 0 {
+		return nil, fmt.Errorf("erm: NoisyGD requires delta > 0")
+	}
+	eps0, delta0, err := mech.SplitBudget(eps, delta, iters)
+	if err != nil {
+		return nil, err
+	}
+	sens := gradSensitivity(l, data.N())
+	sigma, err := mech.GaussianSigma(sens, eps0, delta0)
+	if err != nil {
+		return nil, err
+	}
+
+	dom := l.Domain()
+	d := dom.Dim()
+	h := data.Histogram()
+	theta := dom.Center()
+	avg := vecmath.Copy(theta)
+	grad := make([]float64, d)
+	lip := l.Lipschitz()
+	sc := l.StrongConvexity()
+	diam := dom.Diameter()
+	for t := 1; t <= iters; t++ {
+		convex.GradOn(l, grad, theta, h)
+		for i := range grad {
+			grad[i] += src.Gaussian(0, sigma)
+		}
+		var step float64
+		if sc > 0 {
+			step = 1 / (sc * float64(t))
+		} else {
+			step = diam / (lip * math.Sqrt(float64(t)))
+		}
+		theta = dom.Project(vecmath.AddScaled(vecmath.Copy(theta), -step, grad))
+		for i := range avg {
+			avg[i] += (theta[i] - avg[i]) / float64(t+1)
+		}
+	}
+	return dom.Project(avg), nil
+}
+
+// OutputPerturbation computes the exact empirical minimizer and adds
+// Gaussian noise scaled to the minimizer's stability. For a σ-strongly
+// convex, L-Lipschitz loss, replacing one of n rows moves the minimizer by
+// at most 2L/(σn) in L2 (the classical ERM stability bound), so releasing
+// minimizer + N(0, σ²_noise·I) with σ_noise from the Gaussian mechanism at
+// that sensitivity is (ε, δ)-DP.
+type OutputPerturbation struct {
+	// SolverIters bounds the internal exact solve (default 800).
+	SolverIters int
+}
+
+// Name implements Oracle.
+func (o OutputPerturbation) Name() string { return "outputperturb" }
+
+// Answer implements Oracle. It fails when the loss is not strongly convex.
+func (o OutputPerturbation) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
+	sc := l.StrongConvexity()
+	if sc <= 0 {
+		return nil, fmt.Errorf("erm: OutputPerturbation requires a strongly convex loss, got σ = %v", sc)
+	}
+	if delta == 0 {
+		return nil, fmt.Errorf("erm: OutputPerturbation requires delta > 0")
+	}
+	iters := o.SolverIters
+	if iters <= 0 {
+		iters = 800
+	}
+	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters})
+	if err != nil {
+		return nil, err
+	}
+	sens := 2 * l.Lipschitz() / (sc * float64(data.N()))
+	sigma, err := mech.GaussianSigma(sens, eps, delta)
+	if err != nil {
+		return nil, err
+	}
+	dom := l.Domain()
+	out := vecmath.Copy(res.Theta)
+	for i := range out {
+		out[i] += src.Gaussian(0, sigma)
+	}
+	return dom.Project(out), nil
+}
+
+// NetExpMech runs the exponential mechanism over a public net of candidate
+// parameters: the domain center plus Candidates−1 random domain points
+// (drawn from src before any data access, hence data-independent). Scores
+// are the negated empirical losses; the score sensitivity is range/n where
+// range is the public worst-case spread of per-record loss values over the
+// candidate set.
+type NetExpMech struct {
+	// Candidates is the net size (default 64).
+	Candidates int
+}
+
+// Name implements Oracle.
+func (o NetExpMech) Name() string { return "netexp" }
+
+// Answer implements Oracle.
+func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
+	m := o.Candidates
+	if m <= 0 {
+		m = 64
+	}
+	if err := (mech.Params{Eps: eps, Delta: delta}).Validate(); err != nil {
+		return nil, err
+	}
+	dom := l.Domain()
+	d := dom.Dim()
+	// Public candidate net: center + random points. Drawing before looking
+	// at the data keeps the net data-independent.
+	net := make([][]float64, 0, m)
+	net = append(net, dom.Center())
+	for len(net) < m {
+		net = append(net, dom.Project(src.GaussianVec(d, dom.Diameter()/2)))
+	}
+
+	// Public score-range bound over (candidate, universe record) pairs.
+	u := data.U
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, th := range net {
+		for i := 0; i < u.Size(); i++ {
+			v := l.Value(th, u.Point(i))
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	rangeB := hi - lo
+	if rangeB <= 0 {
+		// Constant loss over the net: every candidate is equally good.
+		return net[0], nil
+	}
+	sens := rangeB / float64(data.N())
+
+	h := data.Histogram()
+	scores := make([]float64, len(net))
+	for i, th := range net {
+		scores[i] = -convex.ValueOn(l, th, h)
+	}
+	idx, err := mech.Exponential(src, scores, sens, eps)
+	if err != nil {
+		return nil, err
+	}
+	return vecmath.Copy(net[idx]), nil
+}
+
+// NonPrivate returns the exact empirical minimizer with no noise. It is the
+// accuracy ceiling in experiments and is NOT differentially private; it
+// ignores ε and δ.
+type NonPrivate struct {
+	// SolverIters bounds the internal solve (default 800).
+	SolverIters int
+}
+
+// Name implements Oracle.
+func (o NonPrivate) Name() string { return "nonprivate" }
+
+// Answer implements Oracle (ε and δ are ignored).
+func (o NonPrivate) Answer(_ *sample.Source, l convex.Loss, data *dataset.Dataset, _, _ float64) ([]float64, error) {
+	iters := o.SolverIters
+	if iters <= 0 {
+		iters = 800
+	}
+	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters})
+	if err != nil {
+		return nil, err
+	}
+	return res.Theta, nil
+}

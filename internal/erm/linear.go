@@ -1,0 +1,35 @@
+package erm
+
+import (
+	"fmt"
+
+	"repro/internal/convex"
+	"repro/internal/dataset"
+	"repro/internal/mech"
+	"repro/internal/sample"
+	"repro/internal/vecmath"
+)
+
+// LaplaceLinear is the oracle for the linear-query special case (paper
+// Table 1, row 1): a linear query's exact answer is the predicate mean
+// E_D[q(x)] with sensitivity 1/n, so the Laplace mechanism answers it with
+// (ε, 0)-DP — exactly the noise Hardt–Rothblum's PMW adds. It only accepts
+// convex.LinearQuery losses.
+type LaplaceLinear struct{}
+
+// Name implements Oracle.
+func (LaplaceLinear) Name() string { return "laplace-linear" }
+
+// Answer implements Oracle. delta is ignored (pure DP).
+func (LaplaceLinear) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, _ float64) ([]float64, error) {
+	lq, ok := l.(*convex.LinearQuery)
+	if !ok {
+		return nil, fmt.Errorf("erm: LaplaceLinear requires a LinearQuery loss, got %T", l)
+	}
+	exact := lq.ExactMinimize(data.Histogram())[0]
+	noisy, err := mech.Laplace(src, exact, 1/float64(data.N()), eps)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{vecmath.Clamp(noisy, 0, 1)}, nil
+}

@@ -1,0 +1,111 @@
+package erm
+
+import (
+	"testing"
+
+	"repro/internal/convex"
+	"repro/internal/sample"
+)
+
+func TestObjectivePerturbationValidation(t *testing.T) {
+	sq := squaredLoss(t)
+	fx := makeFixture(t, 200, 60)
+	src := sample.New(1)
+	if _, err := (ObjectivePerturbation{}).Answer(src, sq, fx.data, 1, 1e-6); err == nil {
+		t.Error("non-strongly-convex loss accepted")
+	}
+	rg, err := convex.NewRegularized(sq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ObjectivePerturbation{}).Answer(src, rg, fx.data, 1, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+}
+
+func TestObjectivePerturbationAccuracy(t *testing.T) {
+	sq := squaredLoss(t)
+	rg, err := convex.NewRegularized(sq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := makeFixture(t, 4000, 61)
+	var worst float64
+	for trial := 0; trial < 5; trial++ {
+		src := sample.New(int64(400 + trial))
+		theta, err := (ObjectivePerturbation{}).Answer(src, rg, fx.data, 1, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rg.Domain().Contains(theta, 1e-6) {
+			t.Fatalf("answer outside domain: %v", theta)
+		}
+		if e := excess(t, rg, theta, fx); e > worst {
+			worst = e
+		}
+	}
+	if worst > 0.05 {
+		t.Errorf("worst excess = %v", worst)
+	}
+}
+
+// At tiny n, objective perturbation's noise must visibly bite (same guard
+// as for the other oracles: a noiseless implementation would match the
+// exact minimizer).
+func TestObjectivePerturbationNoiseBites(t *testing.T) {
+	sq := squaredLoss(t)
+	rg, err := convex.NewRegularized(sq, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := makeFixture(t, 25, 62)
+	np := NonPrivate{}
+	thetaNP, err := np.Answer(sample.New(1), rg, fx.data, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := excess(t, rg, thetaNP, fx)
+	var total float64
+	trials := 10
+	for i := 0; i < trials; i++ {
+		src := sample.New(int64(500 + i))
+		theta, err := (ObjectivePerturbation{}).Answer(src, rg, fx.data, 0.2, 1e-6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += excess(t, rg, theta, fx)
+	}
+	if avg := total / float64(trials); avg <= baseline+1e-9 {
+		t.Errorf("objective perturbation at n=25 matched non-private (%v vs %v)", avg, baseline)
+	}
+}
+
+// Objective and output perturbation answer the same strongly convex query
+// in the same accuracy regime (within an order of magnitude) — the paper's
+// §4.2.3 treats them interchangeably as "the strongly convex oracle".
+func TestObjectiveVsOutputPerturbation(t *testing.T) {
+	sq := squaredLoss(t)
+	rg, err := convex.NewRegularized(sq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx := makeFixture(t, 1500, 63)
+	avg := func(o Oracle) float64 {
+		var total float64
+		trials := 8
+		for i := 0; i < trials; i++ {
+			src := sample.New(int64(600 + i))
+			theta, err := o.Answer(src, rg, fx.data, 0.5, 1e-6)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += excess(t, rg, theta, fx)
+		}
+		return total / float64(trials)
+	}
+	obj := avg(ObjectivePerturbation{})
+	out := avg(OutputPerturbation{})
+	if obj > 10*out+0.01 || out > 10*obj+0.01 {
+		t.Errorf("oracles in different regimes: objective %v, output %v", obj, out)
+	}
+}

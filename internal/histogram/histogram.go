@@ -1,0 +1,230 @@
+// Package histogram implements the histogram representation of datasets
+// from paper §2.1: a dataset D ∈ X^n is viewed as a probability vector over
+// the finite universe X, where entry x holds the fraction of rows equal
+// to x. Adjacent datasets (differing in one row) have histograms at L1
+// distance ≤ 2/n — each such swap moves 1/n of mass between two cells — and
+// the paper's ‖D−D′‖₁ ≤ 1/n per-cell bound is the per-coordinate view of
+// the same fact. The sensitivity arithmetic in mech and sparse builds on
+// this representation.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/sample"
+	"repro/internal/universe"
+	"repro/internal/vecmath"
+)
+
+// Histogram is a probability distribution over the elements of a finite
+// universe. P[i] is the probability of universe element i; entries are
+// non-negative and sum to 1 (within floating-point tolerance, see Validate).
+type Histogram struct {
+	U universe.Universe
+	P []float64
+}
+
+// tol is the normalization tolerance accepted by Validate. It is loose
+// enough to absorb summation error over universes of size up to ~2^22.
+const tol = 1e-9
+
+// Uniform returns the uniform histogram over u — the algorithm's starting
+// hypothesis D̂¹ in paper Figure 3.
+func Uniform(u universe.Universe) *Histogram {
+	n := u.Size()
+	p := make([]float64, n)
+	v := 1 / float64(n)
+	for i := range p {
+		p[i] = v
+	}
+	return &Histogram{U: u, P: p}
+}
+
+// FromCounts returns the histogram of a dataset given per-element counts.
+// Total count must be positive.
+func FromCounts(u universe.Universe, counts []int) (*Histogram, error) {
+	if len(counts) != u.Size() {
+		return nil, fmt.Errorf("histogram: %d counts for universe of size %d", len(counts), u.Size())
+	}
+	var total int
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("histogram: negative count %d at %d", c, i)
+		}
+		total += c
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("histogram: empty dataset")
+	}
+	p := make([]float64, len(counts))
+	for i, c := range counts {
+		p[i] = float64(c) / float64(total)
+	}
+	return &Histogram{U: u, P: p}, nil
+}
+
+// FromRows returns the histogram of a dataset given as row indices into u.
+func FromRows(u universe.Universe, rows []int) (*Histogram, error) {
+	counts := make([]int, u.Size())
+	for j, r := range rows {
+		if r < 0 || r >= u.Size() {
+			return nil, fmt.Errorf("histogram: row %d has index %d outside universe of size %d", j, r, u.Size())
+		}
+		counts[r]++
+	}
+	return FromCounts(u, counts)
+}
+
+// FromProbs wraps an explicit probability vector after validating it.
+func FromProbs(u universe.Universe, p []float64) (*Histogram, error) {
+	h := &Histogram{U: u, P: p}
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Validate checks non-negativity and unit total mass.
+func (h *Histogram) Validate() error {
+	if len(h.P) != h.U.Size() {
+		return fmt.Errorf("histogram: length %d != universe size %d", len(h.P), h.U.Size())
+	}
+	for i, v := range h.P {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("histogram: invalid probability %v at %d", v, i)
+		}
+	}
+	if s := vecmath.Sum(h.P); math.Abs(s-1) > tol {
+		return fmt.Errorf("histogram: total mass %v != 1", s)
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (h *Histogram) Clone() *Histogram {
+	return &Histogram{U: h.U, P: vecmath.Copy(h.P)}
+}
+
+// L1 returns ‖h − g‖₁. Total-variation distance is L1/2.
+func (h *Histogram) L1(g *Histogram) float64 { return vecmath.Dist1(h.P, g.P) }
+
+// TV returns the total-variation distance.
+func (h *Histogram) TV(g *Histogram) float64 { return h.L1(g) / 2 }
+
+// LInf returns max |h(x) − g(x)|.
+func (h *Histogram) LInf(g *Histogram) float64 {
+	var m float64
+	for i := range h.P {
+		if d := math.Abs(h.P[i] - g.P[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// KL returns the Kullback–Leibler divergence KL(g ‖ h) = Σ g(x) log(g(x)/h(x)).
+// This is the multiplicative-weights potential Ψ(g, h): Lemma 3.4's regret
+// bound is exactly the statement that each MW update decreases KL(D ‖ D̂t)
+// by a quantifiable amount. Returns +Inf when g puts mass where h has none.
+func (h *Histogram) KL(g *Histogram) float64 {
+	var s float64
+	for i := range h.P {
+		gi := g.P[i]
+		if gi == 0 {
+			continue
+		}
+		if h.P[i] == 0 {
+			return math.Inf(1)
+		}
+		s += gi * math.Log(gi/h.P[i])
+	}
+	// Guard tiny negative values from rounding when g ≈ h.
+	if s < 0 && s > -1e-12 {
+		return 0
+	}
+	return s
+}
+
+// Dot returns Σ q(x)·h(x) — the answer of the linear query q on h, in the
+// paper's ⟨q, D⟩ notation.
+func (h *Histogram) Dot(q []float64) float64 { return vecmath.Dot(q, h.P) }
+
+// Expect returns E_{x←h}[f(x)] for a function given per universe index.
+// This evaluates ℓ(θ; D) = Σ_x D(x)·ℓ(θ; x) when f is the per-element loss.
+func (h *Histogram) Expect(f func(i int) float64) float64 {
+	var s float64
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		s += p * f(i)
+	}
+	return s
+}
+
+// Sample draws a universe index from the distribution.
+func (h *Histogram) Sample(src *sample.Source) int {
+	return src.Categorical(h.P)
+}
+
+// SampleRows draws n i.i.d. rows (universe indices).
+func (h *Histogram) SampleRows(src *sample.Source, n int) []int {
+	rows := make([]int, n)
+	for i := range rows {
+		rows[i] = h.Sample(src)
+	}
+	return rows
+}
+
+// AdjacentRows returns a copy of rows with row j replaced by element v —
+// the neighbouring dataset D′ ~ D used throughout the privacy analysis.
+func AdjacentRows(rows []int, j, v int) []int {
+	out := make([]int, len(rows))
+	copy(out, rows)
+	out[j] = v
+	return out
+}
+
+// CoordinateMarginal returns the marginal distribution of the coord-th
+// record coordinate: the distinct values it takes over the universe (in
+// increasing order) and their probabilities under h. Useful for comparing
+// a released synthetic dataset's one-way marginals with the truth.
+func (h *Histogram) CoordinateMarginal(coord int) (values, probs []float64, err error) {
+	if coord < 0 || coord >= h.U.Dim() {
+		return nil, nil, fmt.Errorf("histogram: coordinate %d outside [0, %d)", coord, h.U.Dim())
+	}
+	acc := map[float64]float64{}
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		acc[h.U.Point(i)[coord]] += p
+	}
+	values = make([]float64, 0, len(acc))
+	for v := range acc {
+		values = append(values, v)
+	}
+	sort.Float64s(values)
+	probs = make([]float64, len(values))
+	for i, v := range values {
+		probs[i] = acc[v]
+	}
+	return values, probs, nil
+}
+
+// CoordinateMean returns E_h[x_coord].
+func (h *Histogram) CoordinateMean(coord int) (float64, error) {
+	if coord < 0 || coord >= h.U.Dim() {
+		return 0, fmt.Errorf("histogram: coordinate %d outside [0, %d)", coord, h.U.Dim())
+	}
+	var m float64
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		m += p * h.U.Point(i)[coord]
+	}
+	return m, nil
+}

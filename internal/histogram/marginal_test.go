@@ -1,0 +1,81 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/universe"
+)
+
+func TestCoordinateMarginal(t *testing.T) {
+	u, err := universe.NewPoints([][]float64{
+		{0, 1}, {0, 2}, {1, 1}, {1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromProbs(u, []float64{0.1, 0.2, 0.3, 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, probs, err := h.CoordinateMarginal(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 0 || vals[1] != 1 {
+		t.Fatalf("vals = %v", vals)
+	}
+	if math.Abs(probs[0]-0.3) > 1e-12 || math.Abs(probs[1]-0.7) > 1e-12 {
+		t.Fatalf("probs = %v", probs)
+	}
+	// Marginal over the second coordinate.
+	vals, probs, err = h.CoordinateMarginal(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(probs[0]-0.4) > 1e-12 || math.Abs(probs[1]-0.6) > 1e-12 {
+		t.Fatalf("coord-1 probs = %v (vals %v)", probs, vals)
+	}
+	// Marginal probabilities always sum to 1.
+	var s float64
+	for _, p := range probs {
+		s += p
+	}
+	if math.Abs(s-1) > 1e-12 {
+		t.Errorf("marginal mass = %v", s)
+	}
+	if _, _, err := h.CoordinateMarginal(-1); err == nil {
+		t.Error("negative coord accepted")
+	}
+	if _, _, err := h.CoordinateMarginal(2); err == nil {
+		t.Error("out-of-range coord accepted")
+	}
+}
+
+func TestCoordinateMean(t *testing.T) {
+	u, err := universe.NewPoints([][]float64{{-1, 5}, {1, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := FromProbs(u, []float64{0.25, 0.75})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.CoordinateMean(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-0.5) > 1e-12 {
+		t.Errorf("mean = %v, want 0.5", m)
+	}
+	m, err = h.CoordinateMean(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m-6.5) > 1e-12 {
+		t.Errorf("mean = %v, want 6.5", m)
+	}
+	if _, err := h.CoordinateMean(9); err == nil {
+		t.Error("bad coord accepted")
+	}
+}

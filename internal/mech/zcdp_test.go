@@ -1,0 +1,126 @@
+package mech
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGaussianRho(t *testing.T) {
+	// Δ=1, σ=2 → ρ = 1/8.
+	rho, err := GaussianRho(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rho-0.125) > 1e-15 {
+		t.Errorf("rho = %v", rho)
+	}
+	if _, err := GaussianRho(-1, 1); err == nil {
+		t.Error("negative sensitivity accepted")
+	}
+	if _, err := GaussianRho(1, 0); err == nil {
+		t.Error("sigma=0 accepted")
+	}
+}
+
+func TestRhoToDPHandChecked(t *testing.T) {
+	// ρ = 0.1, δ = 1e-6 → ε = 0.1 + 2√(0.1·ln 1e6).
+	p, err := RhoToDP(0.1, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.1 + 2*math.Sqrt(0.1*math.Log(1e6))
+	if math.Abs(p.Eps-want) > 1e-12 {
+		t.Errorf("eps = %v, want %v", p.Eps, want)
+	}
+	if p.Delta != 1e-6 {
+		t.Errorf("delta = %v", p.Delta)
+	}
+	if _, err := RhoToDP(-0.1, 1e-6); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if _, err := RhoToDP(0.1, 0); err == nil {
+		t.Error("delta=0 accepted")
+	}
+	if _, err := RhoToDP(0.1, 1); err == nil {
+		t.Error("delta=1 accepted")
+	}
+}
+
+func TestZCDPAccountant(t *testing.T) {
+	var a ZCDPAccountant
+	if a.Rho() != 0 || a.Count() != 0 {
+		t.Fatal("fresh accountant dirty")
+	}
+	if err := a.SpendGaussian(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SpendRho(0.375); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Rho()-0.5) > 1e-15 {
+		t.Errorf("rho = %v", a.Rho())
+	}
+	if a.Count() != 2 {
+		t.Errorf("count = %d", a.Count())
+	}
+	if err := a.SpendRho(-1); err == nil {
+		t.Error("negative rho accepted")
+	}
+	if err := a.SpendGaussian(1, 0); err == nil {
+		t.Error("bad gaussian accepted")
+	}
+	if _, err := a.Total(1e-6); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// For a homogeneous chain of T Gaussian mechanisms each calibrated by the
+// classical bound at (ε₀, δ₀), the zCDP total must be at least as tight as
+// DRV10 strong composition once T is large — zCDP's advantage is the point
+// of including it.
+func TestZCDPTighterThanDRV10ForLongGaussianChains(t *testing.T) {
+	T := 500
+	eps0, delta0 := 0.01, 1e-9
+	sigma, err := GaussianSigma(1, eps0, delta0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var a ZCDPAccountant
+	for i := 0; i < T; i++ {
+		if err := a.SpendGaussian(1, sigma); err != nil {
+			t.Fatal(err)
+		}
+	}
+	zc, err := a.Total(1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv, err := AdvancedComposition(eps0, delta0, T, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zc.Eps >= drv.Eps {
+		t.Errorf("zCDP (%v) not tighter than DRV10 (%v) for T=%d Gaussians", zc.Eps, drv.Eps, T)
+	}
+}
+
+// zCDP composition is additive: combining two accountants equals one
+// accountant with all spends.
+func TestZCDPAdditivity(t *testing.T) {
+	f := func(rawA, rawB float64) bool {
+		ra := math.Abs(math.Mod(rawA, 10))
+		rb := math.Abs(math.Mod(rawB, 10))
+		var a, b, c ZCDPAccountant
+		if a.SpendRho(ra) != nil || b.SpendRho(rb) != nil {
+			return true
+		}
+		if c.SpendRho(ra) != nil || c.SpendRho(rb) != nil {
+			return true
+		}
+		return math.Abs(a.Rho()+b.Rho()-c.Rho()) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package mw
+
+import (
+	"testing"
+
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// BenchmarkUpdate measures one multiplicative-weights step over a
+// 2¹⁰-element universe — the inner loop of every PMW round.
+func BenchmarkUpdate(b *testing.B) {
+	u, err := universe.NewHypercube(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := New(u, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := sample.New(1)
+	uv := make([]float64, u.Size())
+	for i := range uv {
+		uv[i] = 2*src.Float64() - 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := st.Update(uv); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHistogram measures hypothesis materialization (softmax over the
+// log weights), which runs once per query.
+func BenchmarkHistogram(b *testing.B) {
+	u, err := universe.NewHypercube(10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	st, err := New(u, 0.3, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	uv := make([]float64, u.Size())
+	for i := range uv {
+		uv[i] = float64(i%3) - 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Invalidate the cache each iteration so the softmax is measured.
+		if err := st.Update(uv); err != nil {
+			b.Fatal(err)
+		}
+		_ = st.Histogram()
+	}
+}

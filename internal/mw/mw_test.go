@@ -1,0 +1,299 @@
+package mw
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/sample"
+	"repro/internal/universe"
+	"repro/internal/vecmath"
+)
+
+func cube(t *testing.T, d int) *universe.Hypercube {
+	t.Helper()
+	u, err := universe.NewHypercube(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u
+}
+
+func TestNewValidation(t *testing.T) {
+	u := cube(t, 2)
+	if _, err := New(u, 0, 1); err == nil {
+		t.Error("eta=0 accepted")
+	}
+	if _, err := New(u, 0.1, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := New(u, math.NaN(), 1); err == nil {
+		t.Error("NaN eta accepted")
+	}
+	if _, err := New(u, 0.1, math.Inf(1)); err == nil {
+		t.Error("Inf s accepted")
+	}
+}
+
+func TestStartsUniform(t *testing.T) {
+	u := cube(t, 3)
+	st, err := New(u, 0.1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.Histogram()
+	if err := h.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range h.P {
+		if math.Abs(p-1.0/8) > 1e-12 {
+			t.Fatalf("initial histogram not uniform: %v", h.P)
+		}
+	}
+	if st.Updates() != 0 {
+		t.Error("fresh state has updates")
+	}
+}
+
+func TestUpdateMovesMassAwayFromPenalty(t *testing.T) {
+	u := cube(t, 2)
+	st, _ := New(u, 0.5, 1)
+	// Penalize element 0 only.
+	pen := []float64{1, 0, 0, 0}
+	if err := st.Update(pen); err != nil {
+		t.Fatal(err)
+	}
+	h := st.Histogram()
+	if h.P[0] >= h.P[1] {
+		t.Errorf("penalized mass did not shrink: %v", h.P)
+	}
+	// Exact value: weights ∝ {e^{−0.5}, 1, 1, 1}.
+	z := math.Exp(-0.5) + 3
+	if math.Abs(h.P[0]-math.Exp(-0.5)/z) > 1e-12 {
+		t.Errorf("P[0] = %v, want %v", h.P[0], math.Exp(-0.5)/z)
+	}
+	if st.Updates() != 1 {
+		t.Errorf("Updates = %d", st.Updates())
+	}
+}
+
+func TestUpdateValidation(t *testing.T) {
+	u := cube(t, 2)
+	st, _ := New(u, 0.5, 1)
+	if err := st.Update([]float64{1, 2}); err == nil {
+		t.Error("wrong length accepted")
+	}
+	if err := st.Update([]float64{2, 0, 0, 0}); err == nil {
+		t.Error("entry > S accepted")
+	}
+	if err := st.Update([]float64{math.NaN(), 0, 0, 0}); err == nil {
+		t.Error("NaN accepted")
+	}
+	// Boundary value S is fine.
+	if err := st.Update([]float64{1, -1, 0, 0}); err != nil {
+		t.Errorf("boundary entries rejected: %v", err)
+	}
+}
+
+func TestHistogramCachedAndInvalidated(t *testing.T) {
+	u := cube(t, 1)
+	st, _ := New(u, 0.5, 1)
+	h1 := st.Histogram()
+	h2 := st.Histogram()
+	if h1 != h2 {
+		t.Error("histogram not cached between updates")
+	}
+	if err := st.Update([]float64{1, 0}); err != nil {
+		t.Fatal(err)
+	}
+	h3 := st.Histogram()
+	if h3 == h1 {
+		t.Error("cache not invalidated by update")
+	}
+}
+
+// Lemma 3.4 (bounded regret): for ANY sequence of update vectors in
+// [−S, S]^X and ANY target histogram D,
+// (1/T)·Σ ⟨u_t, D̂t − D⟩ ≤ 2S√(log|X|/T).
+func TestRegretBoundHolds(t *testing.T) {
+	u := cube(t, 4)
+	src := sample.New(1)
+	for trial := 0; trial < 20; trial++ {
+		S := 0.5 + src.Float64()*2
+		T := 10 + src.Intn(200)
+		eta := Eta(S, T, u.Size())
+		st, err := New(u, eta, S)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Random target histogram.
+		p := make([]float64, u.Size())
+		var z float64
+		for i := range p {
+			p[i] = src.Exponential(1) + 1e-9
+			z += p[i]
+		}
+		for i := range p {
+			p[i] /= z
+		}
+		d, err := histogram.FromProbs(u, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var regret float64
+		for step := 0; step < T; step++ {
+			// Adversarial-ish random update vectors in [−S, S].
+			uv := make([]float64, u.Size())
+			for i := range uv {
+				uv[i] = S * (2*src.Float64() - 1)
+			}
+			regret += vecmath.Dot(uv, vecmath.Sub(st.Histogram().P, d.P))
+			if err := st.Update(uv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		bound := RegretBound(S, T, u.Size())
+		if regret/float64(T) > bound+1e-9 {
+			t.Fatalf("regret %v exceeds bound %v (S=%v T=%d)", regret/float64(T), bound, S, T)
+		}
+	}
+}
+
+// The worst case for MW: the adversary always penalizes exactly where the
+// hypothesis overweights relative to a point-mass target. Even then the
+// averaged regret respects Lemma 3.4, and the hypothesis converges to the
+// target.
+func TestGreedyAdversaryConvergesToTarget(t *testing.T) {
+	u := cube(t, 4)
+	S := 1.0
+	T := 400
+	st, _ := New(u, Eta(S, T, u.Size()), S)
+	target, err := histogram.FromProbs(u, pointMass(u.Size(), 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var regret float64
+	for step := 0; step < T; step++ {
+		h := st.Histogram()
+		uv := make([]float64, u.Size())
+		for i := range uv {
+			// Sign of overweight, scaled to S: the best separating vector.
+			if h.P[i] > target.P[i] {
+				uv[i] = S
+			} else if h.P[i] < target.P[i] {
+				uv[i] = -S
+			}
+		}
+		regret += vecmath.Dot(uv, vecmath.Sub(h.P, target.P))
+		if err := st.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if avg := regret / float64(T); avg > RegretBound(S, T, u.Size()) {
+		t.Fatalf("greedy adversary regret %v exceeds bound", avg)
+	}
+	if l1 := st.Histogram().L1(target); l1 > 0.05 {
+		t.Errorf("hypothesis did not converge to point mass: L1 = %v", l1)
+	}
+}
+
+func pointMass(n, idx int) []float64 {
+	p := make([]float64, n)
+	p[idx] = 1
+	return p
+}
+
+// Potential decrease: each update with ⟨u, D̂t − D⟩ ≥ γ > 0 decreases
+// KL(D ‖ D̂t) by at least η·γ − η²S²/2 (the step of Lemma 3.4's proof).
+func TestPotentialDecreasePerUpdate(t *testing.T) {
+	u := cube(t, 3)
+	src := sample.New(2)
+	S := 1.0
+	T := 100
+	eta := Eta(S, T, u.Size())
+	st, _ := New(u, eta, S)
+	target, err := histogram.FromProbs(u, pointMass(u.Size(), 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = src
+	for step := 0; step < 50; step++ {
+		h := st.Histogram()
+		uv := make([]float64, u.Size())
+		for i := range uv {
+			if h.P[i] > target.P[i] {
+				uv[i] = S
+			} else {
+				uv[i] = -S
+			}
+		}
+		gamma := vecmath.Dot(uv, vecmath.Sub(h.P, target.P))
+		before := st.Potential(target)
+		if err := st.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+		after := st.Potential(target)
+		wantDecrease := eta*gamma - eta*eta*S*S/2
+		if before-after < wantDecrease-1e-9 {
+			t.Fatalf("step %d: potential decreased by %v, want ≥ %v", step, before-after, wantDecrease)
+		}
+	}
+}
+
+// Long runs must not underflow: apply many maximal updates and verify the
+// histogram remains valid.
+func TestNumericalStabilityLongRun(t *testing.T) {
+	u := cube(t, 3)
+	st, _ := New(u, 0.9, 1)
+	uv := make([]float64, u.Size())
+	for i := range uv {
+		if i%2 == 0 {
+			uv[i] = 1
+		} else {
+			uv[i] = -1
+		}
+	}
+	for step := 0; step < 5000; step++ {
+		if err := st.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := st.Histogram()
+	if err := h.Validate(); err != nil {
+		t.Fatalf("histogram invalid after long run: %v", err)
+	}
+	// Odd indices should carry essentially all mass.
+	var oddMass float64
+	for i := 1; i < len(h.P); i += 2 {
+		oddMass += h.P[i]
+	}
+	if oddMass < 0.999 {
+		t.Errorf("odd mass = %v", oddMass)
+	}
+}
+
+func TestParameterHelpers(t *testing.T) {
+	// T = 64 S² log|X| / α².
+	got := UpdateBudget(2, 0.5, 256)
+	want := int(math.Ceil(64 * 4 * math.Log(256) / 0.25))
+	if got != want {
+		t.Errorf("UpdateBudget = %d, want %d", got, want)
+	}
+	if UpdateBudget(0.001, 10, 2) != 1 {
+		t.Error("tiny budget should clamp to 1")
+	}
+	// With the paper's T, the regret bound equals α/4.
+	s, alpha := 2.0, 0.5
+	T := UpdateBudget(s, alpha, 256)
+	if rb := RegretBound(s, T, 256); rb > alpha/4+1e-9 {
+		t.Errorf("regret bound at paper's T = %v, want ≤ α/4 = %v", rb, alpha/4)
+	}
+	// Eta is positive and decreasing in T.
+	if Eta(1, 100, 256) <= Eta(1, 400, 256) {
+		t.Error("eta not decreasing in T")
+	}
+	st, _ := New(cube(t, 2), 0.3, 1.5)
+	if st.Eta() != 0.3 || st.Scale() != 1.5 {
+		t.Error("accessors wrong")
+	}
+}

@@ -1,0 +1,123 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/convex"
+	"repro/internal/histogram"
+	"repro/internal/sample"
+)
+
+func TestFrankWolfeMatchesPGD(t *testing.T) {
+	g := grid(t)
+	ball, _ := convex.NewL2Ball(2, 1)
+	sq, _ := convex.NewSquared("sq", ball, []float64{0, 0, 1}, 1, 1)
+	src := sample.New(1)
+	// Random histogram so the optimum is non-trivial.
+	p := make([]float64, g.Size())
+	var z float64
+	for i := range p {
+		p[i] = src.Exponential(1)
+		z += p[i]
+	}
+	for i := range p {
+		p[i] /= z
+	}
+	h, err := histogram.FromProbs(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := FrankWolfe(sq, h, Options{MaxIters: 3000, Tol: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgd, err := Minimize(sq, h, Options{MaxIters: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fw.Value-pgd.Value) > 1e-4 {
+		t.Errorf("FW value %v != PGD value %v", fw.Value, pgd.Value)
+	}
+	if !ball.Contains(fw.Theta, 1e-9) {
+		t.Error("FW left the domain")
+	}
+}
+
+func TestFrankWolfeLinearObjectiveOneStep(t *testing.T) {
+	g := grid(t)
+	ball, _ := convex.NewL2Ball(2, 1)
+	lf, _ := convex.NewLinearForm("lf", ball, []float64{1, 0, 0}, math.Sqrt2)
+	h := histogram.Uniform(g)
+	fw, err := FrankWolfe(lf, h, Options{MaxIters: 500, Tol: 1e-10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := lf.ExactMinimize(h)
+	if math.Abs(convex.ValueOn(lf, fw.Theta, h)-convex.ValueOn(lf, exact, h)) > 1e-6 {
+		t.Errorf("FW on linear objective missed the vertex: %v vs %v", fw.Theta, exact)
+	}
+}
+
+func TestFrankWolfeValidation(t *testing.T) {
+	g := grid(t)
+	ball, _ := convex.NewL2Ball(2, 1)
+	sq, _ := convex.NewSquared("sq", ball, []float64{0, 0, 1}, 1, 1)
+	h := histogram.Uniform(g)
+	if _, err := FrankWolfe(sq, h, Options{Init: []float64{1, 2, 3}}); err == nil {
+		t.Error("bad init accepted")
+	}
+	// A domain without an LMO is rejected.
+	noLMO := noLMODomain{ball}
+	wrapped := domainSwap{inner: sq, dom: noLMO}
+	if _, err := FrankWolfe(wrapped, h, Options{}); err == nil {
+		t.Error("domain without LMO accepted")
+	}
+}
+
+// noLMODomain hides the LinearMinimizer implementation of a domain.
+type noLMODomain struct{ inner convex.Domain }
+
+func (d noLMODomain) Dim() int                                { return d.inner.Dim() }
+func (d noLMODomain) Project(th []float64) []float64          { return d.inner.Project(th) }
+func (d noLMODomain) Contains(th []float64, tol float64) bool { return d.inner.Contains(th, tol) }
+func (d noLMODomain) Diameter() float64                       { return d.inner.Diameter() }
+func (d noLMODomain) Center() []float64                       { return d.inner.Center() }
+func (d noLMODomain) String() string                          { return d.inner.String() }
+
+// domainSwap overrides a loss's domain.
+type domainSwap struct {
+	inner convex.Loss
+	dom   convex.Domain
+}
+
+func (w domainSwap) Name() string                  { return w.inner.Name() }
+func (w domainSwap) Domain() convex.Domain         { return w.dom }
+func (w domainSwap) Value(th, x []float64) float64 { return w.inner.Value(th, x) }
+func (w domainSwap) Grad(g, th, x []float64)       { w.inner.Grad(g, th, x) }
+func (w domainSwap) Lipschitz() float64            { return w.inner.Lipschitz() }
+func (w domainSwap) StrongConvexity() float64      { return w.inner.StrongConvexity() }
+
+func TestDomainLinearMinimizers(t *testing.T) {
+	ball, _ := convex.NewL2Ball(2, 2)
+	s := ball.MinimizeLinear([]float64{3, 4})
+	// −R·dir/‖dir‖ = (−1.2, −1.6).
+	if math.Abs(s[0]+1.2) > 1e-12 || math.Abs(s[1]+1.6) > 1e-12 {
+		t.Errorf("ball LMO = %v", s)
+	}
+	if got := ball.MinimizeLinear([]float64{0, 0}); got[0] != 0 || got[1] != 0 {
+		t.Errorf("ball LMO at 0 = %v", got)
+	}
+	box, _ := convex.NewBox(2, -1, 3)
+	s = box.MinimizeLinear([]float64{1, -1})
+	if s[0] != -1 || s[1] != 3 {
+		t.Errorf("box LMO = %v", s)
+	}
+	iv, _ := convex.NewInterval(0, 1)
+	if got := iv.MinimizeLinear([]float64{2})[0]; got != 0 {
+		t.Errorf("interval LMO = %v", got)
+	}
+	if got := iv.MinimizeLinear([]float64{-2})[0]; got != 1 {
+		t.Errorf("interval LMO = %v", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package sample centralizes all randomness used by the library.
+//
+// Differentially private mechanisms are only as trustworthy as their noise,
+// and experiments are only as trustworthy as their reproducibility, so every
+// consumer draws from a Source constructed from an explicit seed. A Source
+// wraps math/rand and adds the non-uniform samplers the mechanisms need:
+// Laplace (the workhorse of pure-DP noise addition), Gaussian, Gumbel (for
+// exponential-mechanism sampling via the Gumbel-max trick), and exponential.
+package sample
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a seeded stream of random variates. It is not safe for
+// concurrent use; callers that parallelize must Split first.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with the given value. Equal seeds yield equal
+// streams.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Split derives an independent child Source. The child's stream is a
+// deterministic function of the parent's state, so a fixed top-level seed
+// still pins down the entire experiment.
+func (s *Source) Split() *Source {
+	return New(s.rng.Int63())
+}
+
+// Float64 returns a uniform variate in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0, matching
+// math/rand.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a uniform non-negative int64.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Perm returns a uniform random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// Normal returns a standard normal variate.
+func (s *Source) Normal() float64 { return s.rng.NormFloat64() }
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation sigma. sigma must be >= 0.
+func (s *Source) Gaussian(mean, sigma float64) float64 {
+	return mean + sigma*s.rng.NormFloat64()
+}
+
+// Laplace returns a Laplace variate with mean 0 and scale b, i.e. density
+// (1/2b)·exp(−|x|/b). Scale b must be > 0; b = 0 returns 0 exactly (the
+// degenerate noiseless case, used to express non-private baselines).
+func (s *Source) Laplace(b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	// Inverse-CDF sampling from u ∈ (−1/2, 1/2).
+	u := s.rng.Float64() - 0.5
+	if u < 0 {
+		return b * math.Log(1+2*u)
+	}
+	return -b * math.Log(1-2*u)
+}
+
+// Exponential returns an exponential variate with mean m (rate 1/m).
+func (s *Source) Exponential(m float64) float64 {
+	return m * s.rng.ExpFloat64()
+}
+
+// Gumbel returns a standard Gumbel variate with scale beta. Adding
+// independent Gumbel(β) noise to score/β... more precisely, argmaxᵢ
+// (scoreᵢ + Gumbel(β)) samples i with probability ∝ exp(scoreᵢ/β), which is
+// exactly the exponential mechanism's distribution. This "Gumbel-max trick"
+// is how mech.Exponential is implemented.
+func (s *Source) Gumbel(beta float64) float64 {
+	// −β·log(−log U), U uniform in (0,1). Guard U = 0.
+	u := s.rng.Float64()
+	for u == 0 {
+		u = s.rng.Float64()
+	}
+	return -beta * math.Log(-math.Log(u))
+}
+
+// LaplaceVec returns a vector of n i.i.d. Laplace(b) variates.
+func (s *Source) LaplaceVec(n int, b float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Laplace(b)
+	}
+	return out
+}
+
+// GaussianVec returns a vector of n i.i.d. N(0, sigma²) variates.
+func (s *Source) GaussianVec(n int, sigma float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = s.Gaussian(0, sigma)
+	}
+	return out
+}
+
+// UnitVec returns a uniform random point on the unit sphere in R^d.
+func (s *Source) UnitVec(d int) []float64 {
+	v := make([]float64, d)
+	for {
+		var norm2 float64
+		for i := range v {
+			v[i] = s.rng.NormFloat64()
+			norm2 += v[i] * v[i]
+		}
+		if norm2 > 0 {
+			n := math.Sqrt(norm2)
+			for i := range v {
+				v[i] /= n
+			}
+			return v
+		}
+	}
+}
+
+// BallVec returns a uniform random point in the ball of radius r in R^d.
+func (s *Source) BallVec(d int, r float64) []float64 {
+	v := s.UnitVec(d)
+	// Radius ~ r · U^{1/d} gives uniform volume measure.
+	scale := r * math.Pow(s.rng.Float64(), 1/float64(d))
+	for i := range v {
+		v[i] *= scale
+	}
+	return v
+}
+
+// Categorical samples an index from the (unnormalized, non-negative) weight
+// vector w. It panics if all weights are zero or any is negative: callers
+// own weight validity.
+func (s *Source) Categorical(w []float64) int {
+	var total float64
+	for _, v := range w {
+		if v < 0 || math.IsNaN(v) {
+			panic("sample: Categorical weight negative or NaN")
+		}
+		total += v
+	}
+	if total <= 0 {
+		panic("sample: Categorical weights sum to zero")
+	}
+	u := s.rng.Float64() * total
+	var cum float64
+	for i, v := range w {
+		cum += v
+		if u < cum {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(w) - 1; i >= 0; i-- {
+		if w[i] > 0 {
+			return i
+		}
+	}
+	return len(w) - 1
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (s *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return s.rng.Float64() < p
+}

@@ -1,0 +1,24 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/sample"
+)
+
+// BenchmarkQuery measures one sparse-vector decision (one per analyst
+// query in the online algorithm).
+func BenchmarkQuery(b *testing.B) {
+	src := sample.New(1)
+	cfg := Config{T: 1 << 20, K: 1 << 30, Alpha: 0.2, Eps: 1, Delta: 1e-6, Sensitivity: 1e-6}
+	sv, err := New(cfg, src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sv.Query(0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/sample"
+)
+
+func TestPureDPAllowsZeroDelta(t *testing.T) {
+	cfg := Config{T: 3, K: 100, Alpha: 0.2, Eps: 1, Delta: 0, Sensitivity: 1e-5, PureDP: true}
+	sv, err := New(cfg, sample.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Behaves like SV: clear tops answer ⊤.
+	top, err := sv.Query(10 * cfg.Alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !top {
+		t.Error("clear top answered ⊥ under pure DP")
+	}
+	// Without PureDP, delta = 0 is still rejected.
+	cfg.PureDP = false
+	if _, err := New(cfg, sample.New(1)); err == nil {
+		t.Error("delta=0 accepted without PureDP")
+	}
+}
+
+// Pure DP splits the budget as ε/T per epoch vs strong composition's
+// ε/√(8T·ln(2/δ)): for T beyond the crossover (≈ 8·ln(2/δ) ≈ 120), the
+// pure split is smaller, so its noise is larger and the error rate near
+// the threshold higher.
+func TestPureDPNoisierThanApprox(t *testing.T) {
+	base := Config{T: 500, K: 5000, Alpha: 0.2, Eps: 0.5, Sensitivity: 0.002}
+	mistakes := func(cfg Config) int {
+		var wrong int
+		for r := 0; r < 150; r++ {
+			src := sample.New(int64(1000 + r))
+			sv, err := New(cfg, src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for q := 0; q < 10 && !sv.Halted(); q++ {
+				top, err := sv.Query(cfg.Alpha * 0.3) // clear ⊥
+				if err != nil {
+					t.Fatal(err)
+				}
+				if top {
+					wrong++
+				}
+			}
+		}
+		return wrong
+	}
+	pure := base
+	pure.PureDP = true
+	pure.Delta = 0
+	approx := base
+	approx.Delta = 1e-6
+	mp, ma := mistakes(pure), mistakes(approx)
+	if mp <= ma {
+		t.Errorf("pure DP (%d mistakes) not noisier than approx DP (%d)", mp, ma)
+	}
+}

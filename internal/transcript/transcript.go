@@ -1,0 +1,148 @@
+// Package transcript records the analyst/mechanism interaction of the
+// accuracy game (paper Figure 1) as a serializable audit artifact: which
+// queries were asked, what was answered, which queries crossed the sparse
+// vector threshold (and therefore spent oracle budget), and the cumulative
+// privacy spend. Transcripts serialize to JSON for offline inspection and
+// regression comparison.
+//
+// Recording is pure observation: a Recorder wraps a core.Server behind the
+// same Answer interface the games use, so experiments can be transcribed
+// without touching the mechanism.
+package transcript
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/convex"
+	"repro/internal/core"
+)
+
+// Event is one query/answer exchange.
+type Event struct {
+	// Index is the 1-based position in the interaction.
+	Index int `json:"index"`
+	// Query is the loss function's name.
+	Query string `json:"query"`
+	// Answer is the released parameter vector.
+	Answer []float64 `json:"answer"`
+	// Top reports whether the query triggered an oracle call and MW
+	// update (spending budget) rather than being answered from the public
+	// hypothesis.
+	Top bool `json:"top"`
+	// EpsSpent and DeltaSpent are this event's incremental budget cost
+	// (zero for ⊥ answers — the sparse-vector budget is accounted up
+	// front, not per query).
+	EpsSpent   float64 `json:"eps_spent"`
+	DeltaSpent float64 `json:"delta_spent"`
+}
+
+// Transcript is a complete recorded interaction.
+type Transcript struct {
+	// Meta carries run-level parameters (ε, δ, α, K, …).
+	Meta map[string]float64 `json:"meta"`
+	// Events are the exchanges in order.
+	Events []Event `json:"events"`
+	// HaltedEarly reports whether the mechanism stopped before the
+	// analyst did.
+	HaltedEarly bool `json:"halted_early"`
+}
+
+// New returns an empty transcript with the given metadata.
+func New(meta map[string]float64) *Transcript {
+	if meta == nil {
+		meta = map[string]float64{}
+	}
+	return &Transcript{Meta: meta}
+}
+
+// Append records one event, assigning its index.
+func (t *Transcript) Append(e Event) {
+	e.Index = len(t.Events) + 1
+	t.Events = append(t.Events, e)
+}
+
+// Tops returns the number of budget-spending exchanges.
+func (t *Transcript) Tops() int {
+	var n int
+	for _, e := range t.Events {
+		if e.Top {
+			n++
+		}
+	}
+	return n
+}
+
+// SpentOracle returns the cumulative oracle budget recorded (basic
+// composition over the per-event spends; the mechanism's own accounting
+// uses strong composition and is tighter).
+func (t *Transcript) SpentOracle() (eps, delta float64) {
+	for _, e := range t.Events {
+		eps += e.EpsSpent
+		delta += e.DeltaSpent
+	}
+	return eps, delta
+}
+
+// WriteJSON serializes the transcript.
+func (t *Transcript) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadJSON deserializes a transcript.
+func ReadJSON(r io.Reader) (*Transcript, error) {
+	var t Transcript
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("transcript: decode: %w", err)
+	}
+	return &t, nil
+}
+
+// Recorder wraps a core.Server, transcribing every exchange. It satisfies
+// the same Answer contract the accuracy games consume.
+type Recorder struct {
+	Srv *core.Server
+	T   *Transcript
+}
+
+// NewRecorder builds a recorder around srv with metadata taken from the
+// server's derived parameters.
+func NewRecorder(srv *core.Server) *Recorder {
+	p := srv.Params()
+	return &Recorder{
+		Srv: srv,
+		T: New(map[string]float64{
+			"T":           float64(p.T),
+			"eta":         p.Eta,
+			"eps0":        p.Eps0,
+			"delta0":      p.Delta0,
+			"alpha0":      p.Alpha0,
+			"sensitivity": p.Sensitivity,
+		}),
+	}
+}
+
+// Answer forwards to the server and records the exchange. A halt is
+// recorded on the transcript and returned unchanged.
+func (r *Recorder) Answer(l convex.Loss) ([]float64, error) {
+	before := r.Srv.Updates()
+	theta, err := r.Srv.Answer(l)
+	if err != nil {
+		if err == core.ErrHalted {
+			r.T.HaltedEarly = true
+		}
+		return nil, err
+	}
+	top := r.Srv.Updates() > before
+	ev := Event{Query: l.Name(), Answer: append([]float64(nil), theta...), Top: top}
+	if top {
+		p := r.Srv.Params()
+		ev.EpsSpent = p.Eps0
+		ev.DeltaSpent = p.Delta0
+	}
+	r.T.Append(ev)
+	return theta, nil
+}

@@ -1,0 +1,242 @@
+// Package universe defines finite data universes X.
+//
+// The paper's algorithm maintains a histogram over a finite universe X and
+// runs in time poly(|X|) (paper §4.3). Continuous data is handled the way
+// the paper prescribes in §1.1: round each point onto a finite grid, which
+// changes any Lipschitz loss by at most the rounding radius. This package
+// provides the universes used throughout the repo:
+//
+//   - Hypercube: X = {±1/√d}^d, the canonical universe of §4.3;
+//   - LabeledGrid: X = feature-grid × label-grid, for regression and
+//     classification losses over labeled examples (x, y);
+//   - Points: an explicit list of vectors, for custom workloads.
+//
+// Every universe enumerates its elements by index 0..Size()-1 and exposes a
+// vector encoding of each element. Loss functions consume those vectors.
+package universe
+
+import (
+	"fmt"
+	"math"
+)
+
+// Universe is a finite data universe X. Implementations must be immutable
+// after construction; Point may return a shared slice that callers must not
+// modify.
+type Universe interface {
+	// Size returns |X|.
+	Size() int
+	// Point returns the vector encoding of element i, 0 ≤ i < Size().
+	Point(i int) []float64
+	// Dim returns the length of every Point vector.
+	Dim() int
+	// String returns a short human-readable description.
+	String() string
+}
+
+// Hypercube is the universe {±1/√d}^d from paper §4.3. Every point has unit
+// Euclidean norm, so 1-Lipschitz losses over the unit ball automatically
+// satisfy the paper's scaling condition with S ≤ 2.
+type Hypercube struct {
+	d      int
+	points [][]float64
+}
+
+// NewHypercube constructs the universe {±1/√d}^d with |X| = 2^d elements.
+// d must be in [1, 20] to keep |X| enumerable.
+func NewHypercube(d int) (*Hypercube, error) {
+	if d < 1 || d > 20 {
+		return nil, fmt.Errorf("universe: hypercube dimension %d outside [1,20]", d)
+	}
+	size := 1 << uint(d)
+	scale := 1 / math.Sqrt(float64(d))
+	points := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		p := make([]float64, d)
+		for j := 0; j < d; j++ {
+			if i>>uint(j)&1 == 1 {
+				p[j] = scale
+			} else {
+				p[j] = -scale
+			}
+		}
+		points[i] = p
+	}
+	return &Hypercube{d: d, points: points}, nil
+}
+
+// Size returns 2^d.
+func (h *Hypercube) Size() int { return len(h.points) }
+
+// Point returns the i-th sign pattern scaled to the unit sphere.
+func (h *Hypercube) Point(i int) []float64 { return h.points[i] }
+
+// Dim returns d.
+func (h *Hypercube) Dim() int { return h.d }
+
+// String describes the universe.
+func (h *Hypercube) String() string {
+	return fmt.Sprintf("hypercube{±1/√%d}^%d (|X|=%d)", h.d, h.d, h.Size())
+}
+
+// LabeledGrid is a universe of labeled examples (x, y): features x range
+// over a product grid with levels values per coordinate scaled into the ball
+// of radius featRadius, and labels y range over labelLevels values in
+// [-labelRadius, labelRadius]. The Point encoding is (x..., y) with
+// Dim() = featDim + 1.
+type LabeledGrid struct {
+	featDim     int
+	levels      int
+	labelLevels int
+	points      [][]float64
+}
+
+// NewLabeledGrid constructs a labeled-example universe.
+//
+//	featDim      — number of feature coordinates d
+//	levels       — grid values per feature coordinate (≥ 2)
+//	featRadius   — features scaled so ‖x‖₂ ≤ featRadius
+//	labelLevels  — number of distinct labels (≥ 2)
+//	labelRadius  — labels uniform in [-labelRadius, labelRadius]
+//
+// |X| = levels^featDim · labelLevels, which must stay ≤ 1<<22.
+func NewLabeledGrid(featDim, levels int, featRadius float64, labelLevels int, labelRadius float64) (*LabeledGrid, error) {
+	if featDim < 1 {
+		return nil, fmt.Errorf("universe: featDim %d < 1", featDim)
+	}
+	if levels < 2 || labelLevels < 2 {
+		return nil, fmt.Errorf("universe: levels %d / labelLevels %d must be ≥ 2", levels, labelLevels)
+	}
+	if featRadius <= 0 || labelRadius <= 0 {
+		return nil, fmt.Errorf("universe: radii must be positive")
+	}
+	size := labelLevels
+	for i := 0; i < featDim; i++ {
+		size *= levels
+		if size > 1<<22 {
+			return nil, fmt.Errorf("universe: labeled grid size exceeds 2^22")
+		}
+	}
+	// Per-coordinate grid values in [-1, 1], then scaled so the all-max
+	// corner has norm featRadius (keeping every point inside the ball).
+	featVals := gridValues(levels)
+	labelVals := gridValues(labelLevels)
+	cornerNorm := math.Sqrt(float64(featDim)) // ‖(1,...,1)‖
+	featScale := featRadius / cornerNorm
+	points := make([][]float64, size)
+	for i := 0; i < size; i++ {
+		p := make([]float64, featDim+1)
+		rem := i
+		for j := 0; j < featDim; j++ {
+			p[j] = featVals[rem%levels] * featScale
+			rem /= levels
+		}
+		p[featDim] = labelVals[rem] * labelRadius
+		points[i] = p
+	}
+	return &LabeledGrid{featDim: featDim, levels: levels, labelLevels: labelLevels, points: points}, nil
+}
+
+// gridValues returns n values evenly spaced in [-1, 1].
+func gridValues(n int) []float64 {
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = -1 + 2*float64(i)/float64(n-1)
+	}
+	return vals
+}
+
+// Size returns |X|.
+func (g *LabeledGrid) Size() int { return len(g.points) }
+
+// Point returns element i as (features..., label).
+func (g *LabeledGrid) Point(i int) []float64 { return g.points[i] }
+
+// Dim returns featDim + 1.
+func (g *LabeledGrid) Dim() int { return g.featDim + 1 }
+
+// FeatureDim returns the number of feature coordinates (excludes the label).
+func (g *LabeledGrid) FeatureDim() int { return g.featDim }
+
+// String describes the universe.
+func (g *LabeledGrid) String() string {
+	return fmt.Sprintf("labeledgrid d=%d levels=%d labels=%d (|X|=%d)", g.featDim, g.levels, g.labelLevels, g.Size())
+}
+
+// Points is an explicit universe given by a list of vectors, all of equal
+// dimension.
+type Points struct {
+	dim    int
+	points [][]float64
+}
+
+// NewPoints constructs a universe from explicit vectors. The slice is
+// retained; callers must not modify it afterwards.
+func NewPoints(pts [][]float64) (*Points, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("universe: empty point list")
+	}
+	dim := len(pts[0])
+	if dim == 0 {
+		return nil, fmt.Errorf("universe: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != dim {
+			return nil, fmt.Errorf("universe: point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	return &Points{dim: dim, points: pts}, nil
+}
+
+// Size returns the number of points.
+func (p *Points) Size() int { return len(p.points) }
+
+// Point returns element i.
+func (p *Points) Point(i int) []float64 { return p.points[i] }
+
+// Dim returns the shared dimension.
+func (p *Points) Dim() int { return p.dim }
+
+// String describes the universe.
+func (p *Points) String() string {
+	return fmt.Sprintf("points dim=%d (|X|=%d)", p.dim, p.Size())
+}
+
+// Nearest returns the index of the universe element closest in Euclidean
+// distance to v, breaking ties toward the smaller index. This is the
+// rounding map of paper §1.1: continuous records are snapped onto X before
+// any private computation sees them.
+func Nearest(u Universe, v []float64) int {
+	best := math.Inf(1)
+	bestIdx := 0
+	for i := 0; i < u.Size(); i++ {
+		p := u.Point(i)
+		var d2 float64
+		for j := range p {
+			diff := p[j] - v[j]
+			d2 += diff * diff
+		}
+		if d2 < best {
+			best = d2
+			bestIdx = i
+		}
+	}
+	return bestIdx
+}
+
+// MaxNorm returns the largest Euclidean norm over all universe points,
+// used to certify Lipschitz/scale constants for loss families.
+func MaxNorm(u Universe) float64 {
+	var m float64
+	for i := 0; i < u.Size(); i++ {
+		p := u.Point(i)
+		var n2 float64
+		for _, x := range p {
+			n2 += x * x
+		}
+		if n := math.Sqrt(n2); n > m {
+			m = n
+		}
+	}
+	return m
+}

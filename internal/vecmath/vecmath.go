@@ -1,0 +1,323 @@
+// Package vecmath provides small dense-vector numeric helpers used across
+// the library: inner products, norms, in-place arithmetic, and numerically
+// careful reductions (log-sum-exp, Kahan summation).
+//
+// All functions treat a vector as a []float64 and panic on length mismatch:
+// a mismatch is always a programmer error, never a data-dependent condition.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// checkLen panics if two vectors that must be conformant are not.
+func checkLen(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("vecmath: %s: length mismatch %d != %d", op, len(a), len(b)))
+	}
+}
+
+// Dot returns the inner product ⟨a, b⟩.
+func Dot(a, b []float64) float64 {
+	checkLen("Dot", a, b)
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm ‖a‖₂, guarding against overflow by
+// scaling with the largest absolute entry.
+func Norm2(a []float64) float64 {
+	var maxAbs float64
+	for _, v := range a {
+		if av := math.Abs(v); av > maxAbs {
+			maxAbs = av
+		}
+	}
+	if maxAbs == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range a {
+		r := v / maxAbs
+		s += r * r
+	}
+	return maxAbs * math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm Σ|aᵢ|.
+func Norm1(a []float64) float64 {
+	var s float64
+	for _, v := range a {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// NormInf returns the L∞ norm max|aᵢ|.
+func NormInf(a []float64) float64 {
+	var m float64
+	for _, v := range a {
+		if av := math.Abs(v); av > m {
+			m = av
+		}
+	}
+	return m
+}
+
+// Dist2 returns ‖a − b‖₂.
+func Dist2(a, b []float64) float64 {
+	checkLen("Dist2", a, b)
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Dist1 returns ‖a − b‖₁.
+func Dist1(a, b []float64) float64 {
+	checkLen("Dist1", a, b)
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s
+}
+
+// Add returns a new vector a + b.
+func Add(a, b []float64) []float64 {
+	checkLen("Add", a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a new vector a − b.
+func Sub(a, b []float64) []float64 {
+	checkLen("Sub", a, b)
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// Scale returns a new vector c·a.
+func Scale(c float64, a []float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = c * v
+	}
+	return out
+}
+
+// AddScaled sets dst = dst + c·a in place and returns dst.
+func AddScaled(dst []float64, c float64, a []float64) []float64 {
+	checkLen("AddScaled", dst, a)
+	for i := range dst {
+		dst[i] += c * a[i]
+	}
+	return dst
+}
+
+// Copy returns a fresh copy of a.
+func Copy(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Fill sets every entry of a to v and returns a.
+func Fill(a []float64, v float64) []float64 {
+	for i := range a {
+		a[i] = v
+	}
+	return a
+}
+
+// Sum returns the Kahan-compensated sum of a. Compensated summation matters
+// for histograms over large universes, where naive accumulation of ~|X|
+// small probabilities loses relative precision.
+func Sum(a []float64) float64 {
+	var sum, comp float64
+	for _, v := range a {
+		y := v - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of a, or 0 for an empty slice.
+func Mean(a []float64) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	return Sum(a) / float64(len(a))
+}
+
+// Max returns the maximum entry and its index. It panics on an empty slice.
+func Max(a []float64) (float64, int) {
+	if len(a) == 0 {
+		panic("vecmath: Max of empty slice")
+	}
+	best, idx := a[0], 0
+	for i, v := range a[1:] {
+		if v > best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// Min returns the minimum entry and its index. It panics on an empty slice.
+func Min(a []float64) (float64, int) {
+	if len(a) == 0 {
+		panic("vecmath: Min of empty slice")
+	}
+	best, idx := a[0], 0
+	for i, v := range a[1:] {
+		if v < best {
+			best, idx = v, i+1
+		}
+	}
+	return best, idx
+}
+
+// Clamp returns v restricted to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// LogSumExp returns log Σ exp(aᵢ) computed stably. For an empty slice it
+// returns −Inf (the log of an empty sum).
+func LogSumExp(a []float64) float64 {
+	if len(a) == 0 {
+		return math.Inf(-1)
+	}
+	m, _ := Max(a)
+	if math.IsInf(m, -1) {
+		return m
+	}
+	var s float64
+	for _, v := range a {
+		s += math.Exp(v - m)
+	}
+	return m + math.Log(s)
+}
+
+// Softmax writes exp(aᵢ)/Σ exp(aⱼ) into dst (allocating when dst is nil)
+// and returns it. Computation is shifted by the max for stability.
+func Softmax(dst, a []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(a))
+	}
+	checkLen("Softmax", dst, a)
+	if len(a) == 0 {
+		return dst
+	}
+	m, _ := Max(a)
+	var z float64
+	for i, v := range a {
+		e := math.Exp(v - m)
+		dst[i] = e
+		z += e
+	}
+	for i := range dst {
+		dst[i] /= z
+	}
+	return dst
+}
+
+// ProjectL2Ball returns the Euclidean projection of a onto the ball
+// {θ : ‖θ‖₂ ≤ r}. For r ≤ 0 it returns the origin.
+func ProjectL2Ball(a []float64, r float64) []float64 {
+	if r <= 0 {
+		return Zeros(len(a))
+	}
+	n := Norm2(a)
+	if n <= r {
+		return Copy(a)
+	}
+	return Scale(r/n, a)
+}
+
+// ProjectBox returns the entrywise projection of a onto [lo, hi]^d.
+func ProjectBox(a []float64, lo, hi float64) []float64 {
+	out := make([]float64, len(a))
+	for i, v := range a {
+		out[i] = Clamp(v, lo, hi)
+	}
+	return out
+}
+
+// ProjectSimplex returns the Euclidean projection of a onto the probability
+// simplex {p : pᵢ ≥ 0, Σpᵢ = 1}, using the sort-based algorithm of
+// Held, Wolfe and Crowder.
+func ProjectSimplex(a []float64) []float64 {
+	n := len(a)
+	if n == 0 {
+		return nil
+	}
+	sorted := Copy(a)
+	// Insertion sort descending; universes here are small enough that the
+	// O(n²) worst case never dominates, and it avoids an interface shim.
+	for i := 1; i < n; i++ {
+		v := sorted[i]
+		j := i - 1
+		for j >= 0 && sorted[j] < v {
+			sorted[j+1] = sorted[j]
+			j--
+		}
+		sorted[j+1] = v
+	}
+	var cum float64
+	var rho int
+	var theta float64
+	for i := 0; i < n; i++ {
+		cum += sorted[i]
+		t := (cum - 1) / float64(i+1)
+		if sorted[i]-t > 0 {
+			rho = i
+			theta = t
+		}
+	}
+	_ = rho
+	out := make([]float64, n)
+	for i, v := range a {
+		if w := v - theta; w > 0 {
+			out[i] = w
+		}
+	}
+	return out
+}
+
+// ApproxEqual reports whether |a−b| ≤ tol elementwise.
+func ApproxEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
