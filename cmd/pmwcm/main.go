@@ -8,9 +8,12 @@
 //	pmwcm run T1.LIN F2.SV     # run selected experiments
 //	pmwcm run -quick -seed 7 all
 //	pmwcm run -csv T1.LIN      # emit CSV instead of an aligned table
+//	pmwcm serve -addr :8787    # serve the interactive query API
 //
-// Each experiment prints a table plus the paper's predicted shape, so the
-// output can be compared against EXPERIMENTS.md directly.
+// Each experiment prints a table plus the paper's predicted shape. The
+// serve subcommand hosts the session-based HTTP/JSON query API of
+// internal/service; see DESIGN.md for the package inventory and README.md
+// for a worked curl session.
 package main
 
 import (
@@ -41,6 +44,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmwcm:", err)
 			os.Exit(1)
 		}
+	case "serve":
+		if err := serveCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -55,7 +63,10 @@ func usage() {
   pmwcm list
   pmwcm run [-seed N] [-quick] [-csv] (all | ID...)
   pmwcm synth [-in data.csv] [-out synth.csv] [-dim D] [-levels L] [-labels M]
-              [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]`)
+              [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]
+  pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
+              [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
+              [-maxsessions N] [-seed S]`)
 }
 
 func runCmd(args []string) error {

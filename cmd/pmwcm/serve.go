@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/dataio"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/service"
+	"repro/internal/universe"
+)
+
+// serveCmd starts the interactive query-serving subsystem: it loads (or
+// synthesizes) a private dataset over a labeled-grid universe, then serves
+// the session-based HTTP/JSON API of internal/service until interrupted.
+func serveCmd(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8787", "listen address")
+
+	// Universe shape (must match the data's columns: dim features + label).
+	dim := fs.Int("dim", 2, "number of feature columns")
+	levels := fs.Int("levels", 3, "grid levels per feature coordinate")
+	labels := fs.Int("labels", 3, "grid levels for the label")
+	featR := fs.Float64("featradius", 1.0, "feature ball radius")
+	labelR := fs.Float64("labelradius", 1.0, "label range half-width")
+
+	// Data: a CSV path, or a synthetic skewed sample when omitted.
+	dataPath := fs.String("data", "", "CSV of private records (features..., label); empty = synthesize")
+	header := fs.Bool("header", false, "input CSV has a header row")
+	rows := fs.Int("rows", 200000, "synthetic dataset size (when -data is empty)")
+	skew := fs.Float64("skew", 1.3, "synthetic population skew exponent")
+
+	// Default session budget; analysts can override per session.
+	eps := fs.Float64("eps", 1.0, "default session privacy budget ε")
+	delta := fs.Float64("delta", 1e-6, "default session privacy budget δ")
+	alpha := fs.Float64("alpha", 0.05, "default excess-risk accuracy target α")
+	beta := fs.Float64("beta", 0.05, "default failure probability β")
+	k := fs.Int("k", 100, "default per-session query cap K")
+	tBudget := fs.Int("tbudget", 12, "default MW update horizon (0 = paper worst case)")
+	scale := fs.Float64("s", 2, "default loss-family scale bound S")
+
+	oracleName := fs.String("oracle", "noisygd", "single-query oracle (noisygd, netexp, outputperturb, glmreduce, laplace-linear, nonprivate)")
+	maxSessions := fs.Int("maxsessions", 64, "maximum concurrently open sessions")
+	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
+	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := universe.NewLabeledGrid(*dim, *levels, *featR, *labels, *labelR)
+	if err != nil {
+		return err
+	}
+	src := sample.New(*seed)
+
+	var data *dataset.Dataset
+	if *dataPath != "" {
+		var in io.Reader = os.Stdin
+		if *dataPath != "-" {
+			f, err := os.Open(*dataPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			in = f
+		}
+		if data, err = dataio.LoadCSV(in, g, *header); err != nil {
+			return err
+		}
+	} else {
+		pop, err := dataset.Skewed(g, *skew)
+		if err != nil {
+			return err
+		}
+		data = dataset.SampleFrom(src.Split(), pop, *rows)
+	}
+
+	oracle, err := service.OracleByName(*oracleName)
+	if err != nil {
+		return err
+	}
+	mgr, err := service.New(service.Config{
+		Data:   data,
+		Source: src.Split(),
+		Oracle: oracle,
+		Defaults: service.SessionParams{
+			Eps: *eps, Delta: *delta,
+			Alpha: *alpha, Beta: *beta,
+			K: *k, TBudget: *tBudget, S: *scale,
+		},
+		Limits: service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: service.NewHandler(mgr)}
+	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, defaults ε=%g δ=%g α=%g K=%d)\n",
+		ln.Addr(), data.N(), g.String(), oracle.Name(), *eps, *delta, *alpha, *k)
+
+	// Graceful shutdown: stop accepting, drain in-flight requests, then
+	// close every session so their final state is consistent.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		mgr.Shutdown()
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "pmwcm serve: %v, shutting down\n", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		err := srv.Shutdown(ctx)
+		mgr.Shutdown()
+		return err
+	}
+}

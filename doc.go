@@ -5,6 +5,7 @@
 //
 // The root package holds the benchmark harness (bench_test.go), one
 // benchmark per paper table/figure; the implementation lives under
-// internal/ (see DESIGN.md for the system inventory and EXPERIMENTS.md for
-// paper-vs-measured results).
+// internal/ (see DESIGN.md for the system inventory). The pmwcm command
+// runs the batch experiments and serves the interactive query API
+// (internal/service); README.md has the quickstart for both.
 package repro

@@ -1,0 +1,188 @@
+// Serve example: drive the interactive query-serving subsystem end-to-end
+// over HTTP.
+//
+// The program starts the service in-process on an ephemeral port — exactly
+// what `pmwcm serve` runs — then acts as the analyst of the paper's
+// accuracy game (Figure 1) using nothing but HTTP/JSON: it creates a
+// session with a small query budget, submits counting and
+// convex-minimization queries named from the loss registry, watches the
+// budget ledger move as the sparse vector answers ⊥/⊤, prints the audit
+// transcript, and finally runs into the budget-exhaustion rejection.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/service"
+	"repro/internal/universe"
+)
+
+func main() {
+	// --- Server side: the operator's half, normally `pmwcm serve`. ---
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := sample.New(42)
+	pop, err := dataset.Skewed(g, 1.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := dataset.SampleFrom(src.Split(), pop, 200000)
+
+	mgr, err := service.New(service.Config{
+		Data:   data,
+		Source: src.Split(),
+		Defaults: service.SessionParams{
+			Eps: 1, Delta: 1e-6, Alpha: 0.02, K: 100,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mgr.Shutdown()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: service.NewHandler(mgr)}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+	fmt.Println("service listening on", base)
+
+	// --- Analyst side: everything below is plain HTTP/JSON. ---
+
+	// Create a session with a tiny budget so we can watch it run out.
+	var sess struct {
+		ID          string  `json:"id"`
+		QueriesMax  int     `json:"queries_max"`
+		UpdatesMax  int     `json:"updates_max"`
+		EpsBudget   float64 `json:"eps_budget"`
+		DeltaBudget float64 `json:"delta_budget"`
+	}
+	post(base+"/v1/sessions", map[string]any{"k": 5}, &sess)
+	fmt.Printf("session %s: K=%d queries, T=%d updates, budget (ε=%g, δ=%g)\n",
+		sess.ID, sess.QueriesMax, sess.UpdatesMax, sess.EpsBudget, sess.DeltaBudget)
+
+	// Ask K queries, mixing counting queries with genuine CM queries.
+	queries := []map[string]any{
+		{"kind": "positive", "params": map[string]any{"coord": 0}},
+		{"kind": "halfspace", "params": map[string]any{"w": []float64{1, 1, 0}, "threshold": 0}},
+		{"kind": "marginal", "params": map[string]any{"coords": []int{0, 1}}},
+		{"kind": "logistic", "params": map[string]any{"temp": 0.5}},
+		{"kind": "squared"},
+	}
+	fmt.Println("\n#  loss                                      top    ε-spent   answer")
+	for i, q := range queries {
+		var res struct {
+			Loss        string    `json:"loss"`
+			Answer      []float64 `json:"answer"`
+			Top         bool      `json:"top"`
+			EpsSpent    float64   `json:"eps_spent"`
+			QueriesUsed int       `json:"queries_used"`
+		}
+		post(base+"/v1/sessions/"+sess.ID+"/query", q, &res)
+		fmt.Printf("%d  %-40s  %-5v  %.4f    %.3v\n", i+1, res.Loss, res.Top, res.EpsSpent, res.Answer)
+	}
+
+	// The K+1-st query must be rejected: the budget ledger is empty.
+	req, _ := json.Marshal(queries[0])
+	resp, err := http.Post(base+"/v1/sessions/"+sess.ID+"/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(resp.Body).Decode(&apiErr)
+	resp.Body.Close()
+	fmt.Printf("\nquery %d → HTTP %d: %s\n", len(queries)+1, resp.StatusCode, apiErr.Error)
+
+	// Pull the audit transcript: every exchange plus cumulative spend.
+	var tr struct {
+		Tops       int     `json:"tops"`
+		CumEps     float64 `json:"cum_eps"`
+		EpsBound   float64 `json:"eps_bound"`
+		Transcript struct {
+			Events []struct {
+				Query string `json:"query"`
+				Top   bool   `json:"top"`
+			} `json:"events"`
+		} `json:"transcript"`
+	}
+	get(base+"/v1/sessions/"+sess.ID+"/transcript", &tr)
+	fmt.Printf("\ntranscript: %d events, %d ⊤; oracle spend ε=%.4f, total bound ε≤%.4f\n",
+		len(tr.Transcript.Events), tr.Tops, tr.CumEps, tr.EpsBound)
+
+	// Close the session; further queries now fail with 409.
+	del(base + "/v1/sessions/" + sess.ID)
+	resp, err = http.Post(base+"/v1/sessions/"+sess.ID+"/query", "application/json", bytes.NewReader(req))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	fmt.Printf("after close, query → HTTP %d\n", resp.StatusCode)
+}
+
+// post sends a JSON body and decodes the JSON response, failing on non-2xx.
+func post(url string, body any, out any) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&apiErr)
+		log.Fatalf("POST %s: HTTP %d: %s", url, resp.StatusCode, apiErr.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// get decodes a JSON response, failing on non-2xx.
+func get(url string, out any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("GET %s: HTTP %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// del issues a DELETE, failing on non-2xx.
+func del(url string) {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		log.Fatalf("DELETE %s: HTTP %d", url, resp.StatusCode)
+	}
+}

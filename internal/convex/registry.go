@@ -1,0 +1,407 @@
+package convex
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/universe"
+)
+
+// This file is the loss registry: a name → builder table that lets callers
+// outside the process (the serving subsystem, config files, test harnesses)
+// name a CM query by kind plus JSON-encoded parameters instead of holding a
+// Loss value. Builders receive the (public) universe so they can certify
+// feature and target bounds exactly, by enumeration — the same bounds the
+// hand-constructed experiment losses use, but computed rather than assumed.
+//
+// Labeled-record convention (see losses.go): GLM-style kinds read a record
+// as (features..., label) and optimize over Θ = the unit L2 ball in feature
+// space; linear-query kinds are 1-dimensional with Θ = [0, 1].
+
+// Spec names a registered loss family with JSON-encoded parameters. The
+// zero Params builds the family's default instance.
+type Spec struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// Builder constructs a loss instance over the given universe. The universe
+// is public information; builders may enumerate it to certify bounds.
+type Builder func(u universe.Universe, params json.RawMessage) (Loss, error)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Builder{}
+)
+
+// Register adds a loss kind to the registry. It fails on duplicate or empty
+// kinds; safe for concurrent use.
+func Register(kind string, b Builder) error {
+	if kind == "" || b == nil {
+		return fmt.Errorf("convex: Register needs a kind and a builder")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[kind]; dup {
+		return fmt.Errorf("convex: loss kind %q already registered", kind)
+	}
+	registry[kind] = b
+	return nil
+}
+
+// Kinds returns the registered kind names, sorted.
+func Kinds() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Build constructs the loss named by spec over u.
+func Build(u universe.Universe, spec Spec) (Loss, error) {
+	regMu.RLock()
+	b, ok := registry[spec.Kind]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("convex: unknown loss kind %q (have %v)", spec.Kind, Kinds())
+	}
+	l, err := b(u, spec.Params)
+	if err != nil {
+		return nil, fmt.Errorf("convex: building %q: %w", spec.Kind, err)
+	}
+	return l, nil
+}
+
+// decodeParams strictly decodes raw into v, treating empty params as the
+// zero value. Unknown fields are rejected so API typos surface as errors
+// instead of silently building a default instance.
+func decodeParams(raw json.RawMessage, v any) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// featureDim returns u.Dim()−1 for labeled-record losses, rejecting
+// universes too small to carry a label coordinate.
+func featureDim(u universe.Universe) (int, error) {
+	d := u.Dim() - 1
+	if d < 1 {
+		return 0, fmt.Errorf("labeled-record loss needs universe dim ≥ 2, got %d", u.Dim())
+	}
+	return d, nil
+}
+
+// featureBound returns the exact max over the universe of ‖x[:d]‖₂.
+func featureBound(u universe.Universe, d int) float64 {
+	var worst float64
+	for i := 0; i < u.Size(); i++ {
+		p := u.Point(i)
+		var n2 float64
+		for j := 0; j < d; j++ {
+			n2 += p[j] * p[j]
+		}
+		if n2 > worst {
+			worst = n2
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+// dotBound returns the exact max over the universe of |⟨v, x⟩|.
+func dotBound(u universe.Universe, v []float64) float64 {
+	var worst float64
+	for i := 0; i < u.Size(); i++ {
+		p := u.Point(i)
+		var dot float64
+		for j := range v {
+			dot += v[j] * p[j]
+		}
+		if a := math.Abs(dot); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// featBall returns the unit L2 ball over feature space together with the
+// universe's certified feature bound.
+func featBall(u universe.Universe) (*L2Ball, float64, error) {
+	d, err := featureDim(u)
+	if err != nil {
+		return nil, 0, err
+	}
+	ball, err := NewL2Ball(d, 1)
+	if err != nil {
+		return nil, 0, err
+	}
+	fb := featureBound(u, d)
+	if fb == 0 {
+		return nil, 0, fmt.Errorf("universe features are identically zero")
+	}
+	return ball, fb, nil
+}
+
+// shortName renders a compact instance name kind{params} for transcripts.
+func shortName(kind string, raw json.RawMessage) string {
+	if len(raw) == 0 {
+		return kind
+	}
+	s := string(raw)
+	if len(s) > 48 {
+		s = s[:45] + "..."
+	}
+	return kind + s
+}
+
+// checkCoords validates 0 ≤ c < dim for every coordinate index.
+func checkCoords(coords []int, dim int) error {
+	if len(coords) == 0 {
+		return fmt.Errorf("needs at least one coordinate")
+	}
+	for _, c := range coords {
+		if c < 0 || c >= dim {
+			return fmt.Errorf("coordinate %d outside universe dim %d", c, dim)
+		}
+	}
+	return nil
+}
+
+// The built-in kinds. init registration cannot fail: the table above is
+// empty and every kind is distinct.
+func init() {
+	mustRegister := func(kind string, b Builder) {
+		if err := Register(kind, b); err != nil {
+			panic(err)
+		}
+	}
+
+	// squared: least-squares regression of the attribute ⟨target, x⟩ from
+	// the features. Default target is the label coordinate.
+	mustRegister("squared", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			Target []float64 `json:"target"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, fb, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		if p.Target == nil {
+			p.Target = make([]float64, u.Dim())
+			p.Target[u.Dim()-1] = 1
+		}
+		if len(p.Target) != u.Dim() {
+			return nil, fmt.Errorf("target has dim %d, universe dim is %d", len(p.Target), u.Dim())
+		}
+		tb := dotBound(u, p.Target)
+		if tb == 0 {
+			tb = 1 // degenerate target; any positive bound is valid
+		}
+		return NewSquared(shortName("squared", raw), ball, p.Target, fb, tb)
+	})
+
+	// logistic: margin classification of the label sign.
+	mustRegister("logistic", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		p := struct {
+			Margin float64 `json:"margin"`
+			Temp   float64 `json:"temp"`
+		}{Temp: 0.5}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, fb, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		return NewLogistic(shortName("logistic", raw), ball, p.Margin, p.Temp, fb)
+	})
+
+	// hinge: smoothed SVM on the label sign.
+	mustRegister("hinge", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		p := struct {
+			Width float64 `json:"width"`
+		}{Width: 1}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, fb, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		return NewSmoothedHinge(shortName("hinge", raw), ball, p.Width, fb)
+	})
+
+	// huber: robust regression of the label.
+	mustRegister("huber", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		p := struct {
+			Delta float64 `json:"delta"`
+		}{Delta: 0.5}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, fb, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		return NewHuber(shortName("huber", raw), ball, p.Delta, fb)
+	})
+
+	// pinball: smoothed quantile regression of the label.
+	mustRegister("pinball", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		p := struct {
+			Tau    float64 `json:"tau"`
+			Smooth float64 `json:"smooth"`
+		}{Tau: 0.5, Smooth: 0.1}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, fb, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		return NewPinball(shortName("pinball", raw), ball, p.Tau, p.Smooth, fb)
+	})
+
+	// linear: the affine loss with direction v over the full record (exact
+	// minimizer known in closed form — useful as a ground-truth probe).
+	mustRegister("linear", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			V []float64 `json:"v"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		ball, _, err := featBall(u)
+		if err != nil {
+			return nil, err
+		}
+		if len(p.V) != u.Dim() {
+			return nil, fmt.Errorf("v has dim %d, universe dim is %d", len(p.V), u.Dim())
+		}
+		fullBound := featureBound(u, u.Dim())
+		if fullBound == 0 {
+			return nil, fmt.Errorf("universe points are identically zero")
+		}
+		return NewLinearForm(shortName("linear", raw), ball, p.V, fullBound)
+	})
+
+	// halfspace: the counting query q(x) = 1{⟨w, x⟩ ≥ threshold}.
+	mustRegister("halfspace", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			W         []float64 `json:"w"`
+			Threshold float64   `json:"threshold"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		if len(p.W) != u.Dim() {
+			return nil, fmt.Errorf("w has dim %d, universe dim is %d", len(p.W), u.Dim())
+		}
+		w := append([]float64(nil), p.W...)
+		t := p.Threshold
+		return NewLinearQuery(shortName("halfspace", raw), func(x []float64) float64 {
+			var s float64
+			for j := range w {
+				s += w[j] * x[j]
+			}
+			if s >= t {
+				return 1
+			}
+			return 0
+		})
+	})
+
+	// marginal: conjunction over sign-encoded coordinates; signs[i] gives
+	// the required sign (+1/−1) of coordinate coords[i] (default all +1).
+	mustRegister("marginal", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			Coords []int `json:"coords"`
+			Signs  []int `json:"signs"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		if err := checkCoords(p.Coords, u.Dim()); err != nil {
+			return nil, err
+		}
+		if p.Signs == nil {
+			p.Signs = make([]int, len(p.Coords))
+			for i := range p.Signs {
+				p.Signs[i] = 1
+			}
+		}
+		if len(p.Signs) != len(p.Coords) {
+			return nil, fmt.Errorf("signs has %d entries, coords %d", len(p.Signs), len(p.Coords))
+		}
+		coords := append([]int(nil), p.Coords...)
+		signs := append([]int(nil), p.Signs...)
+		return NewLinearQuery(shortName("marginal", raw), func(x []float64) float64 {
+			for i, c := range coords {
+				if (x[c] > 0) != (signs[i] > 0) {
+					return 0
+				}
+			}
+			return 1
+		})
+	})
+
+	// parity: q(x) = 1 iff an even number of the named coordinates is
+	// negative.
+	mustRegister("parity", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			Coords []int `json:"coords"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		if err := checkCoords(p.Coords, u.Dim()); err != nil {
+			return nil, err
+		}
+		coords := append([]int(nil), p.Coords...)
+		return NewLinearQuery(shortName("parity", raw), func(x []float64) float64 {
+			neg := false
+			for _, c := range coords {
+				if x[c] < 0 {
+					neg = !neg
+				}
+			}
+			if neg {
+				return 0
+			}
+			return 1
+		})
+	})
+
+	// positive: the one-coordinate counting query q(x) = 1{x[coord] > 0}.
+	mustRegister("positive", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
+		var p struct {
+			Coord int `json:"coord"`
+		}
+		if err := decodeParams(raw, &p); err != nil {
+			return nil, err
+		}
+		if p.Coord < 0 || p.Coord >= u.Dim() {
+			return nil, fmt.Errorf("coord %d outside universe dim %d", p.Coord, u.Dim())
+		}
+		c := p.Coord
+		return NewLinearQuery(shortName("positive", raw), func(x []float64) float64 {
+			if x[c] > 0 {
+				return 1
+			}
+			return 0
+		})
+	})
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/convex"
+)
+
+// httpapi.go is the HTTP/JSON front end over a Manager. The API surface:
+//
+//	GET    /healthz                      — liveness + open-session count
+//	GET    /v1/losses                    — registered loss kinds
+//	GET    /v1/defaults                  — merged default session parameters
+//	POST   /v1/sessions                  — create a session (body: SessionParams, all fields optional)
+//	GET    /v1/sessions                  — list session statuses
+//	GET    /v1/sessions/{id}             — one session's status
+//	POST   /v1/sessions/{id}/query       — answer a query (body: {"kind": ..., "params": {...}})
+//	GET    /v1/sessions/{id}/transcript  — the session's audit transcript
+//	DELETE /v1/sessions/{id}             — close the session
+//
+// Every response is JSON. Failures carry {"error": ...} with a status code
+// mapped from the service's typed errors: 404 unknown session, 409 closed,
+// 429 budget exhausted, 503 at the session limit or during shutdown, 400
+// for malformed requests and unknown losses.
+
+// NewHandler returns the HTTP handler serving m.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"ok":            true,
+			"open_sessions": m.OpenSessions(),
+			"universe":      m.Universe().String(),
+		})
+	})
+
+	mux.HandleFunc("GET /v1/losses", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"kinds": convex.Kinds()})
+	})
+
+	mux.HandleFunc("GET /v1/defaults", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Defaults())
+	})
+
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req SessionParams
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		s, err := m.CreateSession(req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, s.Status())
+	})
+
+	mux.HandleFunc("GET /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"sessions": m.Statuses()})
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.Status())
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/query", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		var spec convex.Spec
+		if err := decodeBody(w, r, &spec); err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := s.Query(spec)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("GET /v1/sessions/{id}/transcript", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		data, err := s.TranscriptJSON()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(data)
+	})
+
+	mux.HandleFunc("DELETE /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if err := m.CloseSession(r.PathValue("id")); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"closed": true})
+	})
+
+	return mux
+}
+
+// maxBodyBytes caps request bodies; session and query payloads are tiny by
+// design, so anything larger is abuse.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes the request body, allowing an empty body to
+// mean the zero value (so `curl -X POST` without a payload works for
+// session creation with defaults).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		return fmt.Errorf("service: decoding request body: %w", err)
+	}
+	return nil
+}
+
+// writeJSON serializes v with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// writeError maps a service error to its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+}
+
+// statusFor maps typed service errors to HTTP status codes.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrSessionNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrSessionClosed):
+		return http.StatusConflict
+	case errors.Is(err, ErrBudgetExhausted):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusBadRequest
+	}
+}

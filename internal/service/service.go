@@ -1,0 +1,336 @@
+// Package service hosts the paper's interactive protocol as a long-running,
+// concurrent query-serving subsystem.
+//
+// The mechanism of the paper is inherently online: an analyst adaptively
+// submits convex-minimization queries against long-lived private state
+// (Figure 1's accuracy game), yet a core.Server is a single sequential
+// interaction. This package adds the operational layer between the two: a
+// Manager owns the private dataset and hosts many concurrent analyst
+// sessions, each wrapping one core.Server behind its own mutex with a
+// privacy-budget ledger, a query counter, and a transcript recorder.
+// Sessions expose create / query / status / transcript / close operations;
+// queries name losses from the internal/convex registry (kind + JSON
+// parameters), so a session is drivable entirely from serialized data — the
+// HTTP front end in httpapi.go is a thin JSON codec over this API.
+//
+// Budget semantics: a session is created with an (ε, δ) budget, an accuracy
+// target α, and a query cap K. Every answer consumes from the ledger the
+// way Figure 3 prescribes — ⊥ answers are free beyond the up-front
+// sparse-vector slice, ⊤ answers spend one oracle call — and once the K-th
+// query is answered (or the mechanism's T update budget is exhausted) the
+// session rejects further queries with ErrBudgetExhausted. Closing a
+// session or shutting the manager down is permanent; closed sessions keep
+// serving status and transcript reads so audits survive the session.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/erm"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// Typed failures the API distinguishes. Callers match with errors.Is.
+var (
+	// ErrSessionNotFound: the session id is unknown.
+	ErrSessionNotFound = errors.New("service: session not found")
+	// ErrSessionClosed: the session exists but was closed.
+	ErrSessionClosed = errors.New("service: session closed")
+	// ErrBudgetExhausted: the session's K queries or T updates are spent.
+	ErrBudgetExhausted = errors.New("service: session budget exhausted")
+	// ErrTooManySessions: the manager's open-session limit is reached.
+	ErrTooManySessions = errors.New("service: session limit reached")
+	// ErrShuttingDown: the manager has been shut down.
+	ErrShuttingDown = errors.New("service: manager is shut down")
+)
+
+// SessionParams are the per-session mechanism parameters. Zero fields take
+// the manager's defaults at creation time.
+type SessionParams struct {
+	// Eps, Delta is the session's total privacy budget.
+	Eps   float64 `json:"eps,omitempty"`
+	Delta float64 `json:"delta,omitempty"`
+	// Alpha is the excess-risk accuracy target, Beta the failure
+	// probability.
+	Alpha float64 `json:"alpha,omitempty"`
+	Beta  float64 `json:"beta,omitempty"`
+	// K caps the number of queries the session will answer.
+	K int `json:"k,omitempty"`
+	// TBudget is the MW update horizon (see core.Config.TBudget).
+	TBudget int `json:"tbudget,omitempty"`
+	// S is the loss-family scale bound the session enforces.
+	S float64 `json:"s,omitempty"`
+}
+
+// merged fills zero fields from defaults.
+func (p SessionParams) merged(def SessionParams) SessionParams {
+	if p.Eps == 0 {
+		p.Eps = def.Eps
+	}
+	if p.Delta == 0 {
+		p.Delta = def.Delta
+	}
+	if p.Alpha == 0 {
+		p.Alpha = def.Alpha
+	}
+	if p.Beta == 0 {
+		p.Beta = def.Beta
+	}
+	if p.K == 0 {
+		p.K = def.K
+	}
+	if p.TBudget == 0 {
+		p.TBudget = def.TBudget
+	}
+	if p.S == 0 {
+		p.S = def.S
+	}
+	return p
+}
+
+// Limits bound the manager's resource usage.
+type Limits struct {
+	// MaxSessions caps concurrently open sessions (default 64).
+	MaxSessions int
+	// MaxK caps any single session's query budget (default 100000).
+	MaxK int
+	// RetainClosed caps how many closed sessions stay addressable for
+	// status/transcript reads (default 128). Beyond the cap the oldest
+	// closed sessions are evicted, bounding memory on create/close churn.
+	RetainClosed int
+}
+
+// DefaultSessionParams is the fallback configuration applied to fields the
+// caller leaves zero: a (1, 1e-6) budget, α = 0.05, K = 100 queries over a
+// 12-update horizon with the S = 2 scale the unit-ball GLM losses certify.
+func DefaultSessionParams() SessionParams {
+	return SessionParams{
+		Eps: 1, Delta: 1e-6,
+		Alpha: 0.05, Beta: 0.05,
+		K: 100, TBudget: 12, S: 2,
+	}
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Data is the private dataset every session queries.
+	Data *dataset.Dataset
+	// Source seeds all session randomness (split per session).
+	Source *sample.Source
+	// Oracle is the single-query algorithm A′ (default erm.NoisyGD{}).
+	Oracle erm.Oracle
+	// Defaults fill zero fields of per-session parameters
+	// (DefaultSessionParams when a field here is itself zero).
+	Defaults SessionParams
+	// Limits bound resource usage.
+	Limits Limits
+}
+
+// Manager hosts concurrent analyst sessions over one private dataset. All
+// methods are safe for concurrent use.
+type Manager struct {
+	cfg Config
+
+	mu        sync.Mutex
+	seq       uint64
+	sessions  map[string]*Session
+	closedIDs []string // closed sessions in close order, for eviction
+	open      int
+	shutdown  bool
+}
+
+// New validates cfg and constructs an empty Manager.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Data == nil || cfg.Data.N() == 0 {
+		return nil, fmt.Errorf("service: empty dataset")
+	}
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("service: nil random source")
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = erm.NoisyGD{}
+	}
+	cfg.Defaults = cfg.Defaults.merged(DefaultSessionParams())
+	if cfg.Limits.MaxSessions <= 0 {
+		cfg.Limits.MaxSessions = 64
+	}
+	if cfg.Limits.MaxK <= 0 {
+		cfg.Limits.MaxK = 100000
+	}
+	if cfg.Limits.RetainClosed <= 0 {
+		cfg.Limits.RetainClosed = 128
+	}
+	return &Manager{
+		cfg:      cfg,
+		sessions: map[string]*Session{},
+	}, nil
+}
+
+// Universe returns the public data universe sessions answer over.
+func (m *Manager) Universe() universe.Universe { return m.cfg.Data.U }
+
+// Defaults returns the fully merged default session parameters.
+func (m *Manager) Defaults() SessionParams { return m.cfg.Defaults }
+
+// CreateSession opens a new session; zero fields of req take the manager's
+// defaults. It fails with ErrTooManySessions at the open-session limit and
+// ErrShuttingDown after Shutdown.
+func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
+	p := req.merged(m.cfg.Defaults)
+	if p.K > m.cfg.Limits.MaxK {
+		return nil, fmt.Errorf("service: session K = %d exceeds limit %d", p.K, m.cfg.Limits.MaxK)
+	}
+
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	if m.open >= m.cfg.Limits.MaxSessions {
+		m.mu.Unlock()
+		return nil, ErrTooManySessions
+	}
+	m.seq++
+	id := fmt.Sprintf("s-%06d", m.seq)
+	src := m.cfg.Source.Split()
+	// Reserve the slot before the (comparatively slow) server construction
+	// so the limit holds under concurrent creates.
+	m.open++
+	m.mu.Unlock()
+
+	srv, err := core.New(core.Config{
+		Eps: p.Eps, Delta: p.Delta,
+		Alpha: p.Alpha, Beta: p.Beta,
+		K: p.K, S: p.S,
+		Oracle:  m.cfg.Oracle,
+		TBudget: p.TBudget,
+	}, m.cfg.Data, src)
+	if err != nil {
+		m.mu.Lock()
+		m.open--
+		m.mu.Unlock()
+		return nil, err
+	}
+
+	s := newSession(id, p, srv, m.cfg.Data.U, time.Now(), func() { m.release(id) })
+	m.mu.Lock()
+	if m.shutdown {
+		m.open--
+		m.mu.Unlock()
+		return nil, ErrShuttingDown
+	}
+	m.sessions[id] = s
+	m.mu.Unlock()
+	return s, nil
+}
+
+// Session returns the session with the given id (open or closed).
+func (m *Manager) Session(id string) (*Session, error) {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, ErrSessionNotFound
+	}
+	return s, nil
+}
+
+// CloseSession closes the identified session, freeing its slot. Closing an
+// already-closed session returns ErrSessionClosed.
+func (m *Manager) CloseSession(id string) error {
+	s, err := m.Session(id)
+	if err != nil {
+		return err
+	}
+	return s.Close()
+}
+
+// release frees a closed session's slot and bounds the closed-session
+// backlog. It runs exactly once per session, from Session.Close.
+func (m *Manager) release(id string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.open--
+	m.closedIDs = append(m.closedIDs, id)
+	for len(m.closedIDs) > m.cfg.Limits.RetainClosed {
+		delete(m.sessions, m.closedIDs[0])
+		m.closedIDs = m.closedIDs[1:]
+	}
+}
+
+// Statuses returns a snapshot of every session's status, ordered by id.
+func (m *Manager) Statuses() []SessionStatus {
+	m.mu.Lock()
+	ids := make([]string, 0, len(m.sessions))
+	for id := range m.sessions {
+		ids = append(ids, id)
+	}
+	sessions := make([]*Session, 0, len(ids))
+	sort.Strings(ids)
+	for _, id := range ids {
+		sessions = append(sessions, m.sessions[id])
+	}
+	m.mu.Unlock()
+	out := make([]SessionStatus, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.Status()
+	}
+	return out
+}
+
+// OpenSessions returns the number of currently open sessions.
+func (m *Manager) OpenSessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.open
+}
+
+// Shutdown closes every open session and rejects all further creates and
+// queries. It is idempotent; status and transcript reads keep working so
+// in-flight audits can complete.
+func (m *Manager) Shutdown() {
+	m.mu.Lock()
+	if m.shutdown {
+		m.mu.Unlock()
+		return
+	}
+	m.shutdown = true
+	sessions := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	for _, s := range sessions {
+		// Close releases each open session's slot; already-closed sessions
+		// report ErrSessionClosed, which is fine here.
+		s.Close()
+	}
+}
+
+// OracleByName maps a CLI/config oracle name to an erm.Oracle. The empty
+// name selects NoisyGD, the generic Lipschitz oracle.
+func OracleByName(name string) (erm.Oracle, error) {
+	switch name {
+	case "", "noisygd":
+		return erm.NoisyGD{}, nil
+	case "netexp":
+		return erm.NetExpMech{}, nil
+	case "outputperturb":
+		return erm.OutputPerturbation{}, nil
+	case "glmreduce":
+		return erm.GLMReduction{}, nil
+	case "laplace-linear":
+		return erm.LaplaceLinear{}, nil
+	case "nonprivate":
+		return erm.NonPrivate{}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown oracle %q (have noisygd, netexp, outputperturb, glmreduce, laplace-linear, nonprivate)", name)
+	}
+}

@@ -1,0 +1,220 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/convex"
+	"repro/internal/core"
+	"repro/internal/transcript"
+	"repro/internal/universe"
+)
+
+// Session is one analyst's interactive run of the mechanism: a core.Server
+// plus the ledger and transcript around it. A core.Server is inherently
+// sequential, so every operation that touches it serializes on the
+// session's mutex; distinct sessions never contend.
+type Session struct {
+	id      string
+	params  SessionParams
+	u       universe.Universe
+	created time.Time
+
+	// onClose releases the session's manager slot; invoked exactly once,
+	// outside the state mutex, when the session closes.
+	onClose func()
+
+	mu     sync.Mutex
+	rec    *transcript.Recorder
+	closed bool
+}
+
+func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, onClose func()) *Session {
+	rec := transcript.NewRecorder(srv)
+	rec.T.Meta["eps"] = p.Eps
+	rec.T.Meta["delta"] = p.Delta
+	rec.T.Meta["alpha"] = p.Alpha
+	rec.T.Meta["k"] = float64(p.K)
+	return &Session{
+		id:      id,
+		params:  p,
+		u:       u,
+		created: created,
+		onClose: onClose,
+		rec:     rec,
+	}
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Params returns the session's (fully merged) creation parameters.
+func (s *Session) Params() SessionParams { return s.params }
+
+// QueryResult is one answered query plus the ledger movement it caused.
+type QueryResult struct {
+	// Loss is the resolved instance name of the queried loss.
+	Loss string `json:"loss"`
+	// Answer is the released parameter vector θ̂ʲ.
+	Answer []float64 `json:"answer"`
+	// Top reports the sparse-vector disposition: true means ⊤ (an oracle
+	// call was spent and the hypothesis updated), false means ⊥ (answered
+	// from the public hypothesis, no marginal budget).
+	Top bool `json:"top"`
+	// EpsSpent, DeltaSpent are this query's incremental oracle spend.
+	EpsSpent   float64 `json:"eps_spent"`
+	DeltaSpent float64 `json:"delta_spent"`
+	// QueriesUsed / QueriesMax and UpdatesUsed / UpdatesMax are the ledger
+	// counters after this query.
+	QueriesUsed int `json:"queries_used"`
+	QueriesMax  int `json:"queries_max"`
+	UpdatesUsed int `json:"updates_used"`
+	UpdatesMax  int `json:"updates_max"`
+}
+
+// Query resolves spec against the loss registry and answers it. It returns
+// ErrSessionClosed after Close and ErrBudgetExhausted once the session's K
+// queries or T updates are spent.
+func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
+	l, err := convex.Build(s.u, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrSessionClosed
+	}
+	if s.rec.Srv.Halted() {
+		return nil, ErrBudgetExhausted
+	}
+	theta, err := s.rec.Answer(l)
+	if err == core.ErrHalted {
+		return nil, ErrBudgetExhausted
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: query %q: %w", l.Name(), err)
+	}
+	srv := s.rec.Srv
+	ev := s.rec.T.Events[len(s.rec.T.Events)-1]
+	return &QueryResult{
+		Loss:        l.Name(),
+		Answer:      theta,
+		Top:         ev.Top,
+		EpsSpent:    ev.EpsSpent,
+		DeltaSpent:  ev.DeltaSpent,
+		QueriesUsed: srv.Answered(),
+		QueriesMax:  s.params.K,
+		UpdatesUsed: srv.Updates(),
+		UpdatesMax:  srv.Params().T,
+	}, nil
+}
+
+// SessionStatus is a point-in-time snapshot of a session's ledger.
+type SessionStatus struct {
+	ID      string    `json:"id"`
+	Created time.Time `json:"created"`
+	Closed  bool      `json:"closed"`
+	// Exhausted reports that the mechanism has halted (K queries answered
+	// or T updates spent); further queries are rejected.
+	Exhausted bool `json:"exhausted"`
+
+	QueriesUsed int `json:"queries_used"`
+	QueriesMax  int `json:"queries_max"`
+	UpdatesUsed int `json:"updates_used"`
+	UpdatesMax  int `json:"updates_max"`
+
+	// EpsBudget, DeltaBudget is the session's total budget; EpsSpent,
+	// DeltaSpent the mechanism's current privacy bound for the interaction
+	// so far (the up-front sparse-vector slice plus composed oracle calls).
+	EpsBudget   float64 `json:"eps_budget"`
+	DeltaBudget float64 `json:"delta_budget"`
+	EpsSpent    float64 `json:"eps_spent"`
+	DeltaSpent  float64 `json:"delta_spent"`
+
+	// Eps0, Delta0 is the per-oracle-call budget of the composition
+	// schedule — what one more ⊤ answer would cost.
+	Eps0   float64 `json:"eps0"`
+	Delta0 float64 `json:"delta0"`
+}
+
+// Status returns the session's current ledger snapshot.
+func (s *Session) Status() SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	srv := s.rec.Srv
+	p := srv.Params()
+	priv := srv.Privacy()
+	return SessionStatus{
+		ID:          s.id,
+		Created:     s.created,
+		Closed:      s.closed,
+		Exhausted:   srv.Halted(),
+		QueriesUsed: srv.Answered(),
+		QueriesMax:  s.params.K,
+		UpdatesUsed: srv.Updates(),
+		UpdatesMax:  p.T,
+		EpsBudget:   s.params.Eps,
+		DeltaBudget: s.params.Delta,
+		EpsSpent:    priv.Eps,
+		DeltaSpent:  priv.Delta,
+		Eps0:        p.Eps0,
+		Delta0:      p.Delta0,
+	}
+}
+
+// TranscriptRecord is the serialized audit artifact of a session: the full
+// event transcript plus the cumulative spend it implies.
+type TranscriptRecord struct {
+	ID         string                 `json:"id"`
+	Transcript *transcript.Transcript `json:"transcript"`
+	// Tops counts budget-spending (⊤) exchanges.
+	Tops int `json:"tops"`
+	// CumEps, CumDelta is the cumulative oracle spend over the recorded
+	// events (basic composition); EpsBound, DeltaBound the mechanism's
+	// tighter total guarantee including the sparse-vector slice.
+	CumEps     float64 `json:"cum_eps"`
+	CumDelta   float64 `json:"cum_delta"`
+	EpsBound   float64 `json:"eps_bound"`
+	DeltaBound float64 `json:"delta_bound"`
+}
+
+// TranscriptJSON serializes the session's transcript record. Marshaling
+// happens under the session lock, so the snapshot is consistent even while
+// other goroutines keep querying.
+func (s *Session) TranscriptJSON() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	eps, delta := s.rec.T.SpentOracle()
+	priv := s.rec.Srv.Privacy()
+	return json.Marshal(TranscriptRecord{
+		ID:         s.id,
+		Transcript: s.rec.T,
+		Tops:       s.rec.T.Tops(),
+		CumEps:     eps,
+		CumDelta:   delta,
+		EpsBound:   priv.Eps,
+		DeltaBound: priv.Delta,
+	})
+}
+
+// Close permanently stops the session and releases its manager slot.
+// Subsequent queries fail with ErrSessionClosed; status and transcript
+// reads keep working (subject to the manager's closed-session retention
+// limit). Closing twice returns ErrSessionClosed.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.closed = true
+	cb := s.onClose
+	s.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
+	return nil
+}
