@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/expts"
 )
@@ -61,12 +62,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pmwcm list
-  pmwcm run [-seed N] [-quick] [-csv] (all | ID...)
+  pmwcm run [-seed N] [-quick] [-csv] [-workers W] (all | ID...)
   pmwcm synth [-in data.csv] [-out synth.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
-              [-maxsessions N] [-seed S]`)
+              [-workers W] [-maxsessions N] [-seed S]`)
 }
 
 func runCmd(args []string) error {
@@ -74,6 +75,7 @@ func runCmd(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed for the experiment sweep")
 	quick := fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
+	workers := fs.Int("workers", runtime.NumCPU(), "xeval workers per universe-sized computation")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,7 +95,7 @@ func runCmd(args []string) error {
 			selected = append(selected, e)
 		}
 	}
-	cfg := expts.RunConfig{Seed: *seed, Quick: *quick}
+	cfg := expts.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers}
 	for _, e := range selected {
 		tbl, err := e.Run(cfg)
 		if err != nil {

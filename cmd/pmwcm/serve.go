@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -49,6 +50,7 @@ func serveCmd(args []string) error {
 	scale := fs.Float64("s", 2, "default loss-family scale bound S")
 
 	oracleName := fs.String("oracle", "noisygd", "single-query oracle (noisygd, netexp, outputperturb, glmreduce, laplace-linear, nonprivate)")
+	workers := fs.Int("workers", runtime.NumCPU(), "xeval workers per universe-sized computation (intra-query parallelism)")
 	maxSessions := fs.Int("maxsessions", 64, "maximum concurrently open sessions")
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
@@ -84,7 +86,7 @@ func serveCmd(args []string) error {
 		data = dataset.SampleFrom(src.Split(), pop, *rows)
 	}
 
-	oracle, err := service.OracleByName(*oracleName)
+	oracle, err := service.OracleByName(*oracleName, *workers)
 	if err != nil {
 		return err
 	}
@@ -96,6 +98,7 @@ func serveCmd(args []string) error {
 			Eps: *eps, Delta: *delta,
 			Alpha: *alpha, Beta: *beta,
 			K: *k, TBudget: *tBudget, S: *scale,
+			Workers: *workers,
 		},
 		Limits: service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
 	})
@@ -108,8 +111,8 @@ func serveCmd(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
-	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, defaults ε=%g δ=%g α=%g K=%d)\n",
-		ln.Addr(), data.N(), g.String(), oracle.Name(), *eps, *delta, *alpha, *k)
+	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, workers=%d, defaults ε=%g δ=%g α=%g K=%d)\n",
+		ln.Addr(), data.N(), g.String(), oracle.Name(), *workers, *eps, *delta, *alpha, *k)
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// close every session so their final state is consistent.

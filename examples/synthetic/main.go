@@ -73,8 +73,9 @@ func main() {
 			worstSynth = e
 		}
 		var uni float64
+		buf := make([]float64, g.Dim())
 		for i := 0; i < g.Size(); i++ {
-			uni += q.Predicate(g.Point(i))
+			uni += q.Predicate(g.PointInto(i, buf))
 		}
 		uni /= float64(g.Size())
 		if e := math.Abs(uni - truth); e > worstUniform {

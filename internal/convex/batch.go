@@ -1,0 +1,360 @@
+package convex
+
+import (
+	"sync"
+
+	"repro/internal/universe"
+	"repro/internal/vecmath"
+	"repro/internal/xeval"
+)
+
+// BatchLoss is the optional batched fast path of a loss: kernels that
+// evaluate values, weighted gradient sums, and directional gradients over
+// a universe index range [lo, hi) in one call, writing into caller-owned
+// buffers. The xeval-based expectation paths in loss.go dispatch to these
+// kernels when present; every loss family in this package implements them.
+//
+// Contract shared by all three methods: indexing of out/w is relative to
+// lo (out[0] corresponds to universe element lo), buffers are caller-owned
+// and may be sub-slices of full-universe vectors, and implementations must
+// be safe for concurrent calls on disjoint ranges.
+type BatchLoss interface {
+	Loss
+	// EvalBatch writes ℓ(θ; x_i) into out[i−lo] for every i in [lo, hi).
+	EvalBatch(out, theta []float64, u universe.Universe, lo, hi int)
+	// GradBatch accumulates Σ_{i∈[lo,hi)} w[i−lo]·∇ℓ(θ; x_i) into grad
+	// (which it does not zero).
+	GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int)
+	// DirGradBatch writes ⟨dir, ∇ℓ(θ; x_i)⟩ into out[i−lo] for every i in
+	// [lo, hi) — the per-element dual-certificate kernel.
+	DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int)
+}
+
+// chunkBuf pools chunk-sized scratch vectors for the expectation kernels,
+// so a solver iterating GradOn/EvalOn thousands of times allocates no
+// per-chunk buffers after warmup.
+var chunkBuf = sync.Pool{New: func() any {
+	s := make([]float64, xeval.ChunkSize)
+	return &s
+}}
+
+// evalRange dispatches to the loss's EvalBatch kernel or the generic
+// per-element fallback.
+func evalRange(l Loss, out, theta []float64, u universe.Universe, lo, hi int) {
+	if bl, ok := l.(BatchLoss); ok {
+		bl.EvalBatch(out, theta, u, lo, hi)
+		return
+	}
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		out[i-lo] = l.Value(theta, u.PointInto(i, buf))
+	}
+}
+
+// gradRange dispatches to the loss's GradBatch kernel or the generic
+// per-element fallback.
+func gradRange(l Loss, grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	if bl, ok := l.(BatchLoss); ok {
+		bl.GradBatch(grad, theta, w, u, lo, hi)
+		return
+	}
+	g := make([]float64, len(grad))
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		wi := w[i-lo]
+		if wi == 0 {
+			continue
+		}
+		l.Grad(g, theta, u.PointInto(i, buf))
+		for j := range grad {
+			grad[j] += wi * g[j]
+		}
+	}
+}
+
+// dirGradRange dispatches to the loss's DirGradBatch kernel or the generic
+// per-element fallback.
+func dirGradRange(l Loss, out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	if bl, ok := l.(BatchLoss); ok {
+		bl.DirGradBatch(out, dir, theta, u, lo, hi)
+		return
+	}
+	g := make([]float64, len(dir))
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		l.Grad(g, theta, u.PointInto(i, buf))
+		out[i-lo] = vecmath.Dot(dir, g)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// GLM family kernels
+//
+// Every GLM loss here has the shape ℓ(θ; x) = profile(⟨θ, feat(x)⟩, y(x))
+// with ∇ℓ = profile′·feat(x), so one set of kernels parameterized by the
+// label extractor serves squared, logistic, hinge, Huber, pinball and
+// Poisson losses.
+
+// glmLabel extracts the profile's second argument from a record.
+type glmLabel func(x []float64) float64
+
+// lastCoord is the labeled-record convention: the label is the final
+// coordinate.
+func lastCoord(x []float64) float64 { return x[len(x)-1] }
+
+func glmEvalRange(l GLM, label glmLabel, out, theta []float64, u universe.Universe, lo, hi int) {
+	d := l.Domain().Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		x := u.PointInto(i, buf)
+		var z float64
+		for j := 0; j < d; j++ {
+			z += theta[j] * x[j]
+		}
+		v, _ := l.Scalar(z, label(x))
+		out[i-lo] = v
+	}
+}
+
+func glmGradRange(l GLM, label glmLabel, grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	d := l.Domain().Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		wi := w[i-lo]
+		if wi == 0 {
+			continue
+		}
+		x := u.PointInto(i, buf)
+		var z float64
+		for j := 0; j < d; j++ {
+			z += theta[j] * x[j]
+		}
+		_, dv := l.Scalar(z, label(x))
+		f := wi * dv
+		for j := 0; j < d; j++ {
+			grad[j] += f * x[j]
+		}
+	}
+}
+
+func glmDirGradRange(l GLM, label glmLabel, out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	d := l.Domain().Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		x := u.PointInto(i, buf)
+		var z, dz float64
+		for j := 0; j < d; j++ {
+			z += theta[j] * x[j]
+			dz += dir[j] * x[j]
+		}
+		_, dv := l.Scalar(z, label(x))
+		out[i-lo] = dv * dz
+	}
+}
+
+// Squared: the profile's second argument is the target attribute ⟨target, x⟩
+// (which reduces to the label coordinate for the default target).
+func (l *Squared) targetOf(x []float64) float64 { return vecmath.Dot(l.target, x) }
+
+func (l *Squared) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, l.targetOf, out, theta, u, lo, hi)
+}
+
+func (l *Squared) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, l.targetOf, grad, theta, w, u, lo, hi)
+}
+
+func (l *Squared) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, l.targetOf, out, dir, theta, u, lo, hi)
+}
+
+func (l *Logistic) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, lastCoord, out, theta, u, lo, hi)
+}
+
+func (l *Logistic) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, lastCoord, grad, theta, w, u, lo, hi)
+}
+
+func (l *Logistic) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, lastCoord, out, dir, theta, u, lo, hi)
+}
+
+func (l *SmoothedHinge) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, lastCoord, out, theta, u, lo, hi)
+}
+
+func (l *SmoothedHinge) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, lastCoord, grad, theta, w, u, lo, hi)
+}
+
+func (l *SmoothedHinge) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, lastCoord, out, dir, theta, u, lo, hi)
+}
+
+func (l *Huber) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, lastCoord, out, theta, u, lo, hi)
+}
+
+func (l *Huber) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, lastCoord, grad, theta, w, u, lo, hi)
+}
+
+func (l *Huber) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, lastCoord, out, dir, theta, u, lo, hi)
+}
+
+func (l *Pinball) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, lastCoord, out, theta, u, lo, hi)
+}
+
+func (l *Pinball) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, lastCoord, grad, theta, w, u, lo, hi)
+}
+
+func (l *Pinball) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, lastCoord, out, dir, theta, u, lo, hi)
+}
+
+func (l *Poisson) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	glmEvalRange(l, lastCoord, out, theta, u, lo, hi)
+}
+
+func (l *Poisson) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	glmGradRange(l, lastCoord, grad, theta, w, u, lo, hi)
+}
+
+func (l *Poisson) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	glmDirGradRange(l, lastCoord, out, dir, theta, u, lo, hi)
+}
+
+// ---------------------------------------------------------------------------
+// LinearForm kernels: ∇ℓ_x is the θ-independent vector weight(x)·feat(x).
+
+func (l *LinearForm) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	d := l.dom.Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		x := u.PointInto(i, buf)
+		var z float64
+		for j := 0; j < d; j++ {
+			z += theta[j] * x[j]
+		}
+		out[i-lo] = l.weight(x) * z
+	}
+}
+
+func (l *LinearForm) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	d := l.dom.Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		wi := w[i-lo]
+		if wi == 0 {
+			continue
+		}
+		x := u.PointInto(i, buf)
+		f := wi * l.weight(x)
+		for j := 0; j < d; j++ {
+			grad[j] += f * x[j]
+		}
+	}
+}
+
+func (l *LinearForm) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	d := l.dom.Dim()
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		x := u.PointInto(i, buf)
+		var dz float64
+		for j := 0; j < d; j++ {
+			dz += dir[j] * x[j]
+		}
+		out[i-lo] = l.weight(x) * dz
+	}
+}
+
+// ---------------------------------------------------------------------------
+// LinearQuery kernels: 1-dimensional with ∇ℓ_x = θ − q(x).
+
+func (l *LinearQuery) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		r := theta[0] - l.pred(u.PointInto(i, buf))
+		out[i-lo] = r * r / 2
+	}
+}
+
+func (l *LinearQuery) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		wi := w[i-lo]
+		if wi == 0 {
+			continue
+		}
+		grad[0] += wi * (theta[0] - l.pred(u.PointInto(i, buf)))
+	}
+}
+
+func (l *LinearQuery) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	buf := make([]float64, u.Dim())
+	for i := lo; i < hi; i++ {
+		out[i-lo] = dir[0] * (theta[0] - l.pred(u.PointInto(i, buf)))
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Decorator kernels. Regularized and Scaled delegate to the inner loss's
+// kernels (or the generic fallback when the inner loss has none) and apply
+// their transformation on top, so registry-built decorated losses keep the
+// fast path.
+
+func (l *Regularized) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	evalRange(l.inner, out, theta, u, lo, hi)
+	n := vecmath.Norm2(theta)
+	vecmath.AddConst(out[:hi-lo], l.sigma/2*n*n)
+}
+
+func (l *Regularized) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	gradRange(l.inner, grad, theta, w, u, lo, hi)
+	// The ridge term contributes σ·θ per unit weight: σ·θ·Σw over the range.
+	var wsum float64
+	for _, wi := range w[:hi-lo] {
+		wsum += wi
+	}
+	vecmath.AddScaled(grad, l.sigma*wsum, theta)
+}
+
+func (l *Regularized) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	dirGradRange(l.inner, out, dir, theta, u, lo, hi)
+	vecmath.AddConst(out[:hi-lo], l.sigma*vecmath.Dot(dir, theta))
+}
+
+func (l *Scaled) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
+	evalRange(l.inner, out, theta, u, lo, hi)
+	vecmath.ScaleInPlace(out[:hi-lo], l.c)
+}
+
+func (l *Scaled) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
+	tmp := make([]float64, len(grad))
+	gradRange(l.inner, tmp, theta, w, u, lo, hi)
+	vecmath.AddScaled(grad, l.c, tmp)
+}
+
+func (l *Scaled) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
+	dirGradRange(l.inner, out, dir, theta, u, lo, hi)
+	vecmath.ScaleInPlace(out[:hi-lo], l.c)
+}
+
+// Compile-time checks: every loss family ships its batched fast path.
+var (
+	_ BatchLoss = (*Squared)(nil)
+	_ BatchLoss = (*Logistic)(nil)
+	_ BatchLoss = (*SmoothedHinge)(nil)
+	_ BatchLoss = (*Huber)(nil)
+	_ BatchLoss = (*Pinball)(nil)
+	_ BatchLoss = (*Poisson)(nil)
+	_ BatchLoss = (*LinearForm)(nil)
+	_ BatchLoss = (*LinearQuery)(nil)
+	_ BatchLoss = (*Regularized)(nil)
+	_ BatchLoss = (*Scaled)(nil)
+)

@@ -1,0 +1,367 @@
+package convex
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/sample"
+	"repro/internal/universe"
+	"repro/internal/xeval"
+)
+
+// registrySpecs returns one buildable spec per registered loss kind over a
+// dim-3 labeled universe, so the engine equality tests below sweep the
+// whole registry. The test fails if a kind is added without a spec here.
+func registrySpecs(t *testing.T) []Spec {
+	t.Helper()
+	specs := map[string]Spec{
+		"squared":   {Kind: "squared"},
+		"logistic":  {Kind: "logistic", Params: json.RawMessage(`{"margin":0.1,"temp":0.4}`)},
+		"hinge":     {Kind: "hinge", Params: json.RawMessage(`{"width":0.8}`)},
+		"huber":     {Kind: "huber", Params: json.RawMessage(`{"delta":0.3}`)},
+		"pinball":   {Kind: "pinball", Params: json.RawMessage(`{"tau":0.7,"smooth":0.05}`)},
+		"linear":    {Kind: "linear", Params: json.RawMessage(`{"v":[0.5,0.5,0,0.5]}`)},
+		"halfspace": {Kind: "halfspace", Params: json.RawMessage(`{"w":[1,-1,0.5,0],"threshold":0.1}`)},
+		"marginal":  {Kind: "marginal", Params: json.RawMessage(`{"coords":[0,1],"signs":[1,-1]}`)},
+		"parity":    {Kind: "parity", Params: json.RawMessage(`{"coords":[0,2]}`)},
+		"positive":  {Kind: "positive", Params: json.RawMessage(`{"coord":1}`)},
+	}
+	var out []Spec
+	for _, kind := range Kinds() {
+		sp, ok := specs[kind]
+		if !ok {
+			t.Fatalf("registered kind %q has no spec in the engine equality tests; add one", kind)
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// testUniverse is large enough to span several xeval chunks so the
+// parallel path genuinely exercises chunk scheduling and reduction.
+func testUniverse(t *testing.T) *universe.LabeledGrid {
+	t.Helper()
+	// 3 features × 14 levels + 2 labels: |X| = 14³·2 = 5488 (> 2 chunks).
+	g, err := universe.NewLabeledGrid(3, 14, 1.0, 2, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// skewedHistogram builds a non-uniform histogram with some exact zeros, so
+// the zero-chunk skip paths run.
+func skewedHistogram(g universe.Universe) *histogram.Histogram {
+	p := make([]float64, g.Size())
+	var sum float64
+	for i := range p {
+		switch {
+		case i%7 == 0:
+			p[i] = 0 // exercise the allZero skip
+		default:
+			p[i] = 1 / float64(1+i%13)
+			sum += p[i]
+		}
+	}
+	for i := range p {
+		p[i] /= sum
+	}
+	return &histogram.Histogram{U: g, P: p}
+}
+
+// naiveValueOn is the pre-engine reference implementation: a straight
+// sequential accumulation with per-element Value calls.
+func naiveValueOn(l Loss, theta []float64, h *histogram.Histogram) float64 {
+	var s float64
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		s += p * l.Value(theta, h.U.Point(i))
+	}
+	return s
+}
+
+// naiveGradOn is the pre-engine reference population gradient.
+func naiveGradOn(l Loss, theta []float64, h *histogram.Histogram) []float64 {
+	d := l.Domain().Dim()
+	grad := make([]float64, d)
+	g := make([]float64, d)
+	for i, p := range h.P {
+		if p == 0 {
+			continue
+		}
+		l.Grad(g, theta, h.U.Point(i))
+		for j := range grad {
+			grad[j] += p * g[j]
+		}
+	}
+	return grad
+}
+
+// naiveDirGrad is the pre-engine reference certificate vector.
+func naiveDirGrad(l Loss, dir, theta []float64, u universe.Universe) []float64 {
+	d := l.Domain().Dim()
+	out := make([]float64, u.Size())
+	g := make([]float64, d)
+	for i := 0; i < u.Size(); i++ {
+		l.Grad(g, theta, u.Point(i))
+		var s float64
+		for j := 0; j < d; j++ {
+			s += dir[j] * g[j]
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// probe returns deterministic pseudo-random interior domain points.
+func probe(src *sample.Source, l Loss) []float64 {
+	d := l.Domain().Dim()
+	p := make([]float64, d)
+	for i := range p {
+		p[i] = 0.8*src.Float64() - 0.4
+	}
+	return l.Domain().Project(p)
+}
+
+// TestEngineMatchesSequentialAllKinds is the acceptance equality test:
+// for every registered loss kind, the batched parallel expectation paths
+// (8 workers) match the naive sequential reference within 1e-12, and are
+// bit-identical across worker counts.
+func TestEngineMatchesSequentialAllKinds(t *testing.T) {
+	g := testUniverse(t)
+	h := skewedHistogram(g)
+	src := sample.New(7)
+	par := xeval.New(8)
+	ser := xeval.New(1)
+
+	for _, sp := range registrySpecs(t) {
+		l, err := Build(g, sp)
+		if err != nil {
+			t.Fatalf("%s: %v", sp.Kind, err)
+		}
+		// Wrap two kinds in the decorators so their delegating kernels are
+		// covered by the same sweep.
+		losses := []Loss{l}
+		if reg, err := NewRegularized(l, 0.25); err == nil {
+			losses = append(losses, reg)
+		}
+		if sc, err := NewScaled(l, 0.5); err == nil {
+			losses = append(losses, sc)
+		}
+		for _, l := range losses {
+			theta := probe(src, l)
+			thetaHat := probe(src, l)
+			dir := make([]float64, len(theta))
+			for i := range dir {
+				dir[i] = theta[i] - thetaHat[i]
+			}
+
+			wantV := naiveValueOn(l, theta, h)
+			gotV := EvalOn(par, l, theta, h)
+			if math.Abs(gotV-wantV) > 1e-12 {
+				t.Errorf("%s: EvalOn parallel = %v, sequential %v (Δ=%g)", l.Name(), gotV, wantV, gotV-wantV)
+			}
+			if serV := EvalOn(ser, l, theta, h); serV != gotV {
+				t.Errorf("%s: EvalOn differs across worker counts: %v vs %v", l.Name(), serV, gotV)
+			}
+
+			wantG := naiveGradOn(l, theta, h)
+			gotG := GradOn(par, l, nil, theta, h)
+			serG := GradOn(ser, l, nil, theta, h)
+			for j := range wantG {
+				if math.Abs(gotG[j]-wantG[j]) > 1e-12 {
+					t.Errorf("%s: GradOn[%d] parallel = %v, sequential %v", l.Name(), j, gotG[j], wantG[j])
+				}
+				if gotG[j] != serG[j] {
+					t.Errorf("%s: GradOn[%d] differs across worker counts", l.Name(), j)
+				}
+			}
+
+			wantU := naiveDirGrad(l, dir, thetaHat, g)
+			gotU := make([]float64, g.Size())
+			DirGradOn(par, l, gotU, dir, thetaHat, g)
+			for i := range wantU {
+				if math.Abs(gotU[i]-wantU[i]) > 1e-12 {
+					t.Errorf("%s: DirGradOn[%d] = %v, want %v", l.Name(), i, gotU[i], wantU[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestEngineOnHypercube repeats the equality check on the §4.3 hypercube
+// universe at |X| = 2^14, for a loss with a non-trivial full-record target.
+func TestEngineOnHypercube(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large universe")
+	}
+	hc, err := universe.NewHypercube(14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dom, err := NewL2Ball(hc.Dim(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := make([]float64, hc.Dim())
+	target[0], target[3] = 0.8, -0.6
+	l, err := NewSquared("sq-hc", dom, target, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sample.New(11)
+	h := skewedHistogram(hc)
+	theta := probe(src, l)
+	want := naiveValueOn(l, theta, h)
+	if got := EvalOn(xeval.New(8), l, theta, h); math.Abs(got-want) > 1e-12 {
+		t.Errorf("EvalOn = %v, want %v", got, want)
+	}
+	wantG := naiveGradOn(l, theta, h)
+	gotG := GradOn(xeval.New(8), l, nil, theta, h)
+	for j := range wantG {
+		if math.Abs(gotG[j]-wantG[j]) > 1e-12 {
+			t.Errorf("GradOn[%d] = %v, want %v", j, gotG[j], wantG[j])
+		}
+	}
+}
+
+// TestBatchKernelsMatchGenericFallback pins the BatchLoss fast paths to
+// the generic per-element kernels directly (not just through the summed
+// expectations): per-chunk eval and certificate outputs must agree
+// pointwise, and weighted gradient sums must agree for arbitrary weights.
+func TestBatchKernelsMatchGenericFallback(t *testing.T) {
+	g := testUniverse(t)
+	src := sample.New(3)
+	for _, sp := range registrySpecs(t) {
+		l, err := Build(g, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bl, ok := l.(BatchLoss)
+		if !ok {
+			t.Fatalf("%s: registry loss %T does not implement BatchLoss", sp.Kind, l)
+		}
+		theta := probe(src, l)
+		dir := probe(src, l)
+		lo, hi := 5, 1200
+		n := hi - lo
+
+		fastV := make([]float64, n)
+		bl.EvalBatch(fastV, theta, g, lo, hi)
+		buf := make([]float64, g.Dim())
+		for i := lo; i < hi; i++ {
+			want := l.Value(theta, g.PointInto(i, buf))
+			if math.Abs(fastV[i-lo]-want) > 1e-12 {
+				t.Errorf("%s: EvalBatch[%d] = %v, Value = %v", sp.Kind, i, fastV[i-lo], want)
+				break
+			}
+		}
+
+		w := make([]float64, n)
+		for i := range w {
+			w[i] = src.Float64()
+			if i%5 == 0 {
+				w[i] = 0
+			}
+		}
+		d := l.Domain().Dim()
+		fastG := make([]float64, d)
+		bl.GradBatch(fastG, theta, w, g, lo, hi)
+		slowG := make([]float64, d)
+		gbuf := make([]float64, d)
+		for i := lo; i < hi; i++ {
+			if w[i-lo] == 0 {
+				continue
+			}
+			l.Grad(gbuf, theta, g.PointInto(i, buf))
+			for j := 0; j < d; j++ {
+				slowG[j] += w[i-lo] * gbuf[j]
+			}
+		}
+		for j := 0; j < d; j++ {
+			if math.Abs(fastG[j]-slowG[j]) > 1e-12 {
+				t.Errorf("%s: GradBatch[%d] = %v, generic = %v", sp.Kind, j, fastG[j], slowG[j])
+			}
+		}
+
+		fastU := make([]float64, n)
+		bl.DirGradBatch(fastU, dir, theta, g, lo, hi)
+		for i := lo; i < hi; i++ {
+			l.Grad(gbuf, theta, g.PointInto(i, buf))
+			var want float64
+			for j := 0; j < d; j++ {
+				want += dir[j] * gbuf[j]
+			}
+			if math.Abs(fastU[i-lo]-want) > 1e-12 {
+				t.Errorf("%s: DirGradBatch[%d] = %v, generic = %v", sp.Kind, i, fastU[i-lo], want)
+				break
+			}
+		}
+	}
+}
+
+// TestEvalOnConcurrentSameLoss drives one loss instance from many
+// goroutines at once — the serving pattern (sessions share registry-built
+// losses' universe) — so `go test -race` certifies engine + kernel safety.
+func TestEvalOnConcurrentSameLoss(t *testing.T) {
+	g := testUniverse(t)
+	h := skewedHistogram(g)
+	l, err := Build(g, Spec{Kind: "logistic"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sample.New(5)
+	theta := probe(src, l)
+	want := EvalOn(nil, l, theta, h)
+	done := make(chan float64, 8)
+	for k := 0; k < 8; k++ {
+		go func() {
+			e := xeval.New(4)
+			var last float64
+			for r := 0; r < 20; r++ {
+				last = EvalOn(e, l, theta, h)
+			}
+			done <- last
+		}()
+	}
+	for k := 0; k < 8; k++ {
+		if got := <-done; got != want {
+			t.Errorf("concurrent EvalOn = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEvalOnSparseHistogram covers the sparse-chunk fast path: a
+// histogram supported on a handful of cells of a multi-chunk universe
+// must produce the same population loss as the dense batched path, for
+// every worker count.
+func TestEvalOnSparseHistogram(t *testing.T) {
+	g := testUniverse(t)
+	p := make([]float64, g.Size())
+	// 12 support points scattered across chunks: every chunk is far below
+	// the nnz < len/4 density threshold.
+	idxs := []int{0, 7, 500, 2047, 2048, 2100, 4095, 4096, 4500, 5000, 5400, 5487}
+	for _, i := range idxs {
+		p[i] = 1 / float64(len(idxs))
+	}
+	h := &histogram.Histogram{U: g, P: p}
+	l, err := Build(g, Spec{Kind: "huber"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	theta := probe(sample.New(13), l)
+	want := naiveValueOn(l, theta, h)
+	for _, w := range []int{1, 8} {
+		if got := EvalOn(xeval.New(w), l, theta, h); math.Abs(got-want) > 1e-12 {
+			t.Errorf("workers=%d: sparse EvalOn = %v, want %v", w, got, want)
+		}
+	}
+	if a, b := EvalOn(xeval.New(1), l, theta, h), EvalOn(xeval.New(8), l, theta, h); a != b {
+		t.Errorf("sparse EvalOn differs across worker counts: %v vs %v", a, b)
+	}
+}

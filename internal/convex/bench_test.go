@@ -1,0 +1,107 @@
+package convex
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/histogram"
+	"repro/internal/universe"
+	"repro/internal/xeval"
+)
+
+// bench2p16 is the acceptance-criterion workload: a logistic CM query over
+// a |X| = 2^16 labeled universe (5 feature coordinates on an 8-level grid
+// × 2 labels = 8^5·2 = 65536 records).
+func bench2p16(b *testing.B) (*universe.LabeledGrid, Loss, *histogram.Histogram, []float64) {
+	b.Helper()
+	g, err := universe.NewLabeledGrid(5, 8, 1.0, 2, 1.0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if g.Size() != 1<<16 {
+		b.Fatalf("|X| = %d, want 2^16", g.Size())
+	}
+	l, err := Build(g, Spec{Kind: "logistic"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h := histogram.Uniform(g)
+	theta := make([]float64, l.Domain().Dim())
+	for i := range theta {
+		theta[i] = 0.1 * float64(i+1)
+	}
+	return g, l, h, theta
+}
+
+// BenchmarkGradOn2p16Logistic measures the population-gradient hot path —
+// the per-iteration cost of every public argmin solve — serial vs
+// parallel. The acceptance criterion for the engine is ≥3× at 8 workers.
+func BenchmarkGradOn2p16Logistic(b *testing.B) {
+	_, l, h, theta := bench2p16(b)
+	grad := make([]float64, l.Domain().Dim())
+	for _, workers := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", workers)
+		if workers == 0 {
+			name = "workers=numcpu"
+		}
+		e := xeval.New(workers)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GradOn(e, l, grad, theta, h)
+			}
+		})
+	}
+}
+
+// BenchmarkEvalOn2p16Logistic measures the population-loss path.
+func BenchmarkEvalOn2p16Logistic(b *testing.B) {
+	_, l, h, theta := bench2p16(b)
+	for _, workers := range []int{1, 8} {
+		e := xeval.New(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				EvalOn(e, l, theta, h)
+			}
+		})
+	}
+}
+
+// BenchmarkDirGradOn2p16Logistic measures the Claim-3.5 certificate
+// kernel u_t(x) = ⟨dir, ∇ℓ_x(θ)⟩ over the full universe.
+func BenchmarkDirGradOn2p16Logistic(b *testing.B) {
+	g, l, _, theta := bench2p16(b)
+	dir := make([]float64, l.Domain().Dim())
+	for i := range dir {
+		dir[i] = 0.05 * float64(i+1)
+	}
+	out := make([]float64, g.Size())
+	for _, workers := range []int{1, 8} {
+		e := xeval.New(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				DirGradOn(e, l, out, dir, theta, g)
+			}
+		})
+	}
+}
+
+// BenchmarkGradOnGenericFallback measures the engine without the
+// BatchLoss fast path (loss wrapped to hide the kernel methods), isolating
+// the speedup attributable to batching alone.
+func BenchmarkGradOnGenericFallback(b *testing.B) {
+	_, l, h, theta := bench2p16(b)
+	hidden := hideBatch{l}
+	grad := make([]float64, l.Domain().Dim())
+	for _, workers := range []int{1, 8} {
+		e := xeval.New(workers)
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GradOn(e, hidden, grad, theta, h)
+			}
+		})
+	}
+}
+
+// hideBatch strips the BatchLoss methods off a loss, forcing the generic
+// per-element fallback.
+type hideBatch struct{ Loss }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/histogram"
 	"repro/internal/universe"
+	"repro/internal/xeval"
 )
 
 // Loss is a convex loss function ℓ(θ; x) defining a CM query (paper §2.2).
@@ -56,60 +57,131 @@ func ScaleBound(l Loss) float64 {
 	return l.Domain().Diameter() * l.Lipschitz()
 }
 
-// ValueOn returns the population loss ℓ(θ; D) = Σ_x D(x)·ℓ(θ; x).
-func ValueOn(l Loss, theta []float64, h *histogram.Histogram) float64 {
-	var s float64
-	for i, p := range h.P {
-		if p == 0 {
-			continue
+// All universe expectations below run on the xeval engine: fixed chunk
+// boundaries over [0, |X|) with pairwise reduction, so for any worker
+// count the result is bit-identical to the serial (nil-engine) path.
+// Per-chunk work dispatches through the BatchLoss fast path (batch.go)
+// when the loss provides one and falls back to per-element Value/Grad
+// calls otherwise.
+
+// EvalOn returns the population loss ℓ(θ; D) = Σ_x D(x)·ℓ(θ; x), evaluated
+// chunk-parallel on e (nil means serial).
+//
+// Chunks adapt to the histogram's support: mostly-zero chunks (empirical
+// histograms of n ≪ |X| records) evaluate only their nonzero cells, dense
+// chunks (MW hypothesis histograms) take the batched kernel. Both paths
+// accumulate identical values in identical index order, and the choice
+// depends only on the weights, so results stay worker-count deterministic.
+func EvalOn(e *xeval.Engine, l Loss, theta []float64, h *histogram.Histogram) float64 {
+	u := h.U
+	return e.Sum(u.Size(), func(lo, hi int) float64 {
+		w := h.P[lo:hi]
+		nnz := 0
+		for _, wi := range w {
+			if wi != 0 {
+				nnz++
+			}
 		}
-		s += p * l.Value(theta, h.U.Point(i))
-	}
-	return s
+		if nnz == 0 {
+			return 0
+		}
+		var s float64
+		if nnz < (hi-lo)/4 {
+			buf := make([]float64, u.Dim())
+			for i, wi := range w {
+				if wi != 0 {
+					s += wi * l.Value(theta, u.PointInto(lo+i, buf))
+				}
+			}
+			return s
+		}
+		bufp := chunkBuf.Get().(*[]float64)
+		out := (*bufp)[:hi-lo]
+		evalRange(l, out, theta, u, lo, hi)
+		for i, wi := range w {
+			if wi != 0 {
+				s += wi * out[i]
+			}
+		}
+		chunkBuf.Put(bufp)
+		return s
+	})
+}
+
+// ValueOn returns the population loss ℓ(θ; D) = Σ_x D(x)·ℓ(θ; x) on the
+// serial engine. Shorthand for EvalOn(nil, ...).
+func ValueOn(l Loss, theta []float64, h *histogram.Histogram) float64 {
+	return EvalOn(nil, l, theta, h)
 }
 
 // GradOn writes the population gradient ∇ℓ(θ; D) = Σ_x D(x)·∇ℓ_x(θ) into
-// grad and returns it (allocating when nil).
-func GradOn(l Loss, grad, theta []float64, h *histogram.Histogram) []float64 {
+// grad and returns it (allocating when nil), evaluated chunk-parallel on e
+// (nil means serial).
+func GradOn(e *xeval.Engine, l Loss, grad, theta []float64, h *histogram.Histogram) []float64 {
 	d := l.Domain().Dim()
 	if grad == nil {
 		grad = make([]float64, d)
 	}
-	for i := range grad {
-		grad[i] = 0
-	}
-	g := make([]float64, d)
-	for i, p := range h.P {
-		if p == 0 {
-			continue
+	u := h.U
+	return e.SumVec(grad, u.Size(), func(lo, hi int, out []float64) {
+		w := h.P[lo:hi]
+		if allZero(w) {
+			return
 		}
-		l.Grad(g, theta, h.U.Point(i))
-		for j := range grad {
-			grad[j] += p * g[j]
-		}
-	}
-	return grad
+		gradRange(l, out, theta, w, u, lo, hi)
+	})
+}
+
+// DirGradOn writes the directional gradients ⟨dir, ∇ℓ_x(θ)⟩ into
+// out[i] for every universe element i, chunk-parallel on e. This is the
+// dual-certificate vector of paper Claim 3.5 (before clamping to [−S, S]).
+func DirGradOn(e *xeval.Engine, l Loss, out, dir, theta []float64, u universe.Universe) {
+	e.ForEach(u.Size(), func(lo, hi int) {
+		dirGradRange(l, out[lo:hi], dir, theta, u, lo, hi)
+	})
 }
 
 // CertifyLipschitz empirically verifies the loss's claimed Lipschitz bound
 // by evaluating gradient norms at the given probe parameters over the whole
-// universe, returning the largest observed norm. Tests compare it against
-// Lipschitz().
-func CertifyLipschitz(l Loss, u universe.Universe, probes [][]float64) float64 {
+// universe (chunk-parallel on e), returning the largest observed norm.
+// Tests compare it against Lipschitz().
+func CertifyLipschitz(e *xeval.Engine, l Loss, u universe.Universe, probes [][]float64) float64 {
 	d := l.Domain().Dim()
-	g := make([]float64, d)
 	var worst float64
 	for _, th := range probes {
-		for i := 0; i < u.Size(); i++ {
-			l.Grad(g, th, u.Point(i))
-			var n2 float64
-			for _, v := range g {
-				n2 += v * v
+		m, ok := e.Max(u.Size(), func(lo, hi int) float64 {
+			g := make([]float64, d)
+			buf := make([]float64, u.Dim())
+			var w float64
+			for i := lo; i < hi; i++ {
+				l.Grad(g, th, u.PointInto(i, buf))
+				var n2 float64
+				for _, v := range g {
+					n2 += v * v
+				}
+				if n2 > w {
+					w = n2
+				}
 			}
-			if n := math.Sqrt(n2); n > worst {
+			return w
+		})
+		if ok {
+			if n := math.Sqrt(m); n > worst {
 				worst = n
 			}
 		}
 	}
 	return worst
+}
+
+// allZero reports whether every entry of w is zero — the common case for
+// chunks of an empirical histogram over a large universe, which lets the
+// expectation kernels skip whole chunks.
+func allZero(w []float64) bool {
+	for _, v := range w {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
 }

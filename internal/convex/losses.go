@@ -404,11 +404,12 @@ func (l *LinearForm) ExactMinimize(h *histogram.Histogram) []float64 {
 	}
 	d := l.dom.Dim()
 	w := make([]float64, d)
+	buf := make([]float64, h.U.Dim())
 	for i, p := range h.P {
 		if p == 0 {
 			continue
 		}
-		x := h.U.Point(i)
+		x := h.U.PointInto(i, buf)
 		pw := p * l.weight(x)
 		for j := 0; j < d; j++ {
 			w[j] += pw * x[j]
@@ -470,11 +471,12 @@ func (l *LinearQuery) Grad(grad, theta, x []float64) {
 // (1/2)·E(θ−q)², minimized at the mean.
 func (l *LinearQuery) ExactMinimize(h *histogram.Histogram) []float64 {
 	var mean float64
+	buf := make([]float64, h.U.Dim())
 	for i, p := range h.P {
 		if p == 0 {
 			continue
 		}
-		mean += p * l.pred(h.U.Point(i))
+		mean += p * l.pred(h.U.PointInto(i, buf))
 	}
 	return []float64{vecmath.Clamp(mean, 0, 1)}
 }

@@ -153,7 +153,7 @@ func TestLipschitzCertified(t *testing.T) {
 		for i := 0; i < 60; i++ {
 			probes = append(probes, randomTheta(src, dom))
 		}
-		worst := CertifyLipschitz(l, g, probes)
+		worst := CertifyLipschitz(nil, l, g, probes)
 		if worst > l.Lipschitz()+1e-9 {
 			t.Errorf("%s: empirical gradient norm %v exceeds certified %v", l.Name(), worst, l.Lipschitz())
 		}
@@ -347,7 +347,7 @@ func TestValueGradOn(t *testing.T) {
 		t.Errorf("ValueOn = %v, want %v", got, want)
 	}
 	// GradOn matches finite differences of ValueOn.
-	grad := GradOn(sq, nil, theta, h)
+	grad := GradOn(nil, sq, nil, theta, h)
 	const step = 1e-6
 	for i := range theta {
 		tp := vecmath.Copy(theta)

@@ -105,8 +105,9 @@ func featureDim(u universe.Universe) (int, error) {
 // featureBound returns the exact max over the universe of ‖x[:d]‖₂.
 func featureBound(u universe.Universe, d int) float64 {
 	var worst float64
+	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
-		p := u.Point(i)
+		p := u.PointInto(i, buf)
 		var n2 float64
 		for j := 0; j < d; j++ {
 			n2 += p[j] * p[j]
@@ -121,8 +122,9 @@ func featureBound(u universe.Universe, d int) float64 {
 // dotBound returns the exact max over the universe of |⟨v, x⟩|.
 func dotBound(u universe.Universe, v []float64) float64 {
 	var worst float64
+	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
-		p := u.Point(i)
+		p := u.PointInto(i, buf)
 		var dot float64
 		for j := range v {
 			dot += v[j] * p[j]

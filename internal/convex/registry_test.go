@@ -89,7 +89,7 @@ func TestRegistryCertifiesBounds(t *testing.T) {
 			t.Fatalf("Build(%q): %v", kind, err)
 		}
 		probes := [][]float64{l.Domain().Center(), {0.7, -0.7}, {1, 0}, {0, -1}}
-		if got, want := CertifyLipschitz(l, g, probes), l.Lipschitz(); got > want+1e-9 {
+		if got, want := CertifyLipschitz(nil, l, g, probes), l.Lipschitz(); got > want+1e-9 {
 			t.Errorf("%s: observed gradient norm %v exceeds certified %v", kind, got, want)
 		}
 	}

@@ -33,6 +33,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -46,6 +47,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // Config parameterizes the online PMW server.
@@ -73,6 +75,14 @@ type Config struct {
 	TBudget int
 	// SolverIters bounds the public argmin solves (default 400).
 	SolverIters int
+	// Workers sets the xeval worker count for every universe-sized
+	// computation the server performs (public argmin solves, the err_ℓ
+	// query value, the Claim-3.5 certificate, MW materialization).
+	// 0 selects runtime.NumCPU(); negative values are rejected with
+	// ErrInvalidWorkers. The answers released are bit-identical for every
+	// worker count (xeval's reductions are deterministic), so this knob
+	// never touches the privacy analysis.
+	Workers int
 	// Trace enables per-update diagnostics (costs extra computation and
 	// reads the private data for *reporting only*; leave off outside
 	// experiments).
@@ -102,8 +112,15 @@ func (c Config) validate() error {
 	if c.Oracle == nil {
 		return fmt.Errorf("core: nil oracle")
 	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d: %w", c.Workers, ErrInvalidWorkers)
+	}
 	return nil
 }
+
+// ErrInvalidWorkers is returned (wrapped) by New for a negative
+// Config.Workers. The HTTP layer maps it to 400.
+var ErrInvalidWorkers = errors.New("core: workers must be ≥ 0 (0 = all CPUs)")
 
 // Params are the derived algorithm parameters of Figure 3.
 type Params struct {
@@ -133,7 +150,7 @@ type UpdateTrace struct {
 
 // ErrHalted is returned by Answer once the server has stopped (sparse
 // vector exhausted its T tops or saw K queries).
-var ErrHalted = fmt.Errorf("core: server has halted")
+var ErrHalted = errors.New("core: server has halted")
 
 // Server is one interactive run of online PMW for CM queries. Not safe for
 // concurrent use: the analyst protocol is inherently sequential.
@@ -145,6 +162,7 @@ type Server struct {
 	src    *sample.Source
 	sv     *sparse.SV
 	state  *mw.State
+	eng    *xeval.Engine
 	orc    mech.Accountant
 
 	answered int
@@ -193,10 +211,13 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
+	// validate() rejected negatives; xeval.New maps 0 to runtime.NumCPU().
+	eng := xeval.New(cfg.Workers)
 	state, err := mw.New(data.U, eta, cfg.S)
 	if err != nil {
 		return nil, err
 	}
+	state.SetEngine(eng)
 	return &Server{
 		cfg:    cfg,
 		params: p,
@@ -205,8 +226,12 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 		src:    src,
 		sv:     sv,
 		state:  state,
+		eng:    eng,
 	}, nil
 }
+
+// Engine returns the server's universe-expectation engine.
+func (s *Server) Engine() *xeval.Engine { return s.eng }
 
 // Params returns the derived Figure-3 parameters.
 func (s *Server) Params() Params { return s.params }
@@ -272,7 +297,7 @@ func (s *Server) publicMin(l convex.Loss) ([]float64, error) {
 	if iters <= 0 {
 		iters = 400
 	}
-	res, err := optimize.Minimize(l, s.state.Histogram(), optimize.Options{MaxIters: iters})
+	res, err := optimize.Minimize(l, s.state.Histogram(), optimize.Options{MaxIters: iters, Engine: s.eng})
 	if err != nil {
 		return nil, err
 	}
@@ -286,11 +311,11 @@ func (s *Server) privateErr(l convex.Loss, thetaHat []float64) (float64, error) 
 	if iters <= 0 {
 		iters = 400
 	}
-	minD, err := optimize.MinValue(l, s.hist, optimize.Options{MaxIters: iters})
+	minD, err := optimize.MinValue(l, s.hist, optimize.Options{MaxIters: iters, Engine: s.eng})
 	if err != nil {
 		return 0, err
 	}
-	e := convex.ValueOn(l, thetaHat, s.hist) - minD
+	e := convex.EvalOn(s.eng, l, thetaHat, s.hist) - minD
 	if e < 0 {
 		e = 0
 	}
@@ -352,25 +377,27 @@ func (s *Server) Answer(l convex.Loss) ([]float64, error) {
 	return theta, nil
 }
 
-// update applies the dual-certificate MW step of Figure 3.
+// update applies the dual-certificate MW step of Figure 3. The certificate
+// u_t(x) = ⟨θt − θ̂t, ∇ℓ_x(θ̂t)⟩ is computed chunk-parallel on the server's
+// engine via the loss's DirGradBatch kernel.
 func (s *Server) update(l convex.Loss, theta, thetaHat []float64, qval float64) error {
 	u := s.data.U
-	d := l.Domain().Dim()
 	dir := vecmath.Sub(theta, thetaHat)
-	grad := make([]float64, d)
 	uvec := make([]float64, u.Size())
-	for i := 0; i < u.Size(); i++ {
-		l.Grad(grad, thetaHat, u.Point(i))
-		v := vecmath.Dot(dir, grad)
-		// Clamp tiny overshoot of the certified scale bound; anything
-		// larger is a real contract violation that mw.Update will reject.
-		if v > s.cfg.S && v <= s.cfg.S*(1+1e-12) {
-			v = s.cfg.S
-		} else if v < -s.cfg.S && v >= -s.cfg.S*(1+1e-12) {
-			v = -s.cfg.S
+	convex.DirGradOn(s.eng, l, uvec, dir, thetaHat, u)
+	s.eng.ForEach(u.Size(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := uvec[i]
+			// Clamp tiny overshoot of the certified scale bound; anything
+			// larger is a real contract violation that mw.Update will
+			// reject.
+			if v > s.cfg.S && v <= s.cfg.S*(1+1e-12) {
+				uvec[i] = s.cfg.S
+			} else if v < -s.cfg.S && v >= -s.cfg.S*(1+1e-12) {
+				uvec[i] = -s.cfg.S
+			}
 		}
-		uvec[i] = v
-	}
+	})
 
 	if s.cfg.Trace {
 		prog := vecmath.Dot(uvec, vecmath.Sub(s.state.Histogram().P, s.hist.P))

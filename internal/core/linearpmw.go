@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/convex"
 	"repro/internal/dataset"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/sparse"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // LinearPMW is Hardt–Rothblum's original online private multiplicative
@@ -34,6 +36,7 @@ type LinearPMW struct {
 	hist  *histogram.Histogram
 	nsv   *sparse.NumericSV
 	state *mw.State
+	eng   *xeval.Engine
 
 	answered int
 }
@@ -51,6 +54,9 @@ type LinearPMWConfig struct {
 	// 16·log|X|/α², the linear-query specialization of Figure 3's T with
 	// S = 1 and the α/2 update threshold measured in answer units).
 	TBudget int
+	// Workers sets the xeval worker count (0 = all CPUs, negative
+	// rejected; see core.Config.Workers).
+	Workers int
 }
 
 func (c LinearPMWConfig) validate() error {
@@ -65,6 +71,9 @@ func (c LinearPMWConfig) validate() error {
 	}
 	if c.K < 1 {
 		return fmt.Errorf("core: K %d must be ≥ 1", c.K)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d: %w", c.Workers, ErrInvalidWorkers)
 	}
 	return nil
 }
@@ -96,16 +105,20 @@ func NewLinearPMW(cfg LinearPMWConfig, data *dataset.Dataset, src *sample.Source
 	if err != nil {
 		return nil, err
 	}
+	// validate() rejected negatives; xeval.New maps 0 to runtime.NumCPU().
+	eng := xeval.New(cfg.Workers)
 	state, err := mw.New(data.U, mw.Eta(1, T, xsize), 1)
 	if err != nil {
 		return nil, err
 	}
+	state.SetEngine(eng)
 	return &LinearPMW{
 		cfg:   cfg,
 		data:  data,
 		hist:  data.Histogram(),
 		nsv:   nsv,
 		state: state,
+		eng:   eng,
 	}, nil
 }
 
@@ -117,12 +130,27 @@ func (p *LinearPMW) Answer(q *convex.LinearQuery) (float64, error) {
 	}
 	u := p.data.U
 	qvec := make([]float64, u.Size())
-	for i := range qvec {
-		v := q.Predicate(u.Point(i))
-		if v < 0 || v > 1 {
-			return 0, fmt.Errorf("core: predicate value %v outside [0,1]", v)
+	// Materialize the query vector chunk-parallel; range violations fold
+	// into a NaN sentinel so the (cold) error path can stay serial.
+	bad, _ := p.eng.Max(u.Size(), func(lo, hi int) float64 {
+		buf := make([]float64, u.Dim())
+		worst := 0.0
+		for i := lo; i < hi; i++ {
+			v := q.Predicate(u.PointInto(i, buf))
+			if v < 0 || v > 1 {
+				worst = math.Inf(1)
+			}
+			qvec[i] = v
 		}
-		qvec[i] = v
+		return worst
+	})
+	if math.IsInf(bad, 1) {
+		buf := make([]float64, u.Dim())
+		for i := 0; i < u.Size(); i++ {
+			if v := q.Predicate(u.PointInto(i, buf)); v < 0 || v > 1 {
+				return 0, fmt.Errorf("core: predicate value %v outside [0,1]", v)
+			}
+		}
 	}
 	hyp := p.state.Histogram()
 	hypAns := vecmath.Dot(qvec, hyp.P)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/sample"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // OfflineConfig parameterizes the offline (batch) variant of PMW for CM
@@ -33,6 +34,9 @@ type OfflineConfig struct {
 	Oracle erm.Oracle
 	// SolverIters bounds the public/private argmin solves (default 400).
 	SolverIters int
+	// Workers sets the xeval worker count (0 = all CPUs, negative
+	// rejected; see core.Config.Workers).
+	Workers int
 }
 
 func (c OfflineConfig) validate() error {
@@ -50,6 +54,9 @@ func (c OfflineConfig) validate() error {
 	}
 	if c.Oracle == nil {
 		return fmt.Errorf("core: nil oracle")
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: workers %d: %w", c.Workers, ErrInvalidWorkers)
 	}
 	return nil
 }
@@ -91,11 +98,14 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 		return nil, err
 	}
 
+	// validate() rejected negatives; xeval.New maps 0 to runtime.NumCPU().
+	eng := xeval.New(cfg.Workers)
 	xsize := data.U.Size()
 	state, err := mw.New(data.U, mw.Eta(cfg.S, cfg.Rounds, xsize), cfg.S)
 	if err != nil {
 		return nil, err
 	}
+	state.SetEngine(eng)
 	priv := data.Histogram()
 	sens := 3 * cfg.S / float64(data.N())
 
@@ -106,16 +116,16 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 		scores := make([]float64, len(losses))
 		thetaHats := make([][]float64, len(losses))
 		for i, l := range losses {
-			res, err := optimize.Minimize(l, hyp, optimize.Options{MaxIters: iters})
+			res, err := optimize.Minimize(l, hyp, optimize.Options{MaxIters: iters, Engine: eng})
 			if err != nil {
 				return nil, err
 			}
 			thetaHats[i] = res.Theta
-			minD, err := optimize.MinValue(l, priv, optimize.Options{MaxIters: iters})
+			minD, err := optimize.MinValue(l, priv, optimize.Options{MaxIters: iters, Engine: eng})
 			if err != nil {
 				return nil, err
 			}
-			e := convex.ValueOn(l, res.Theta, priv) - minD
+			e := convex.EvalOn(eng, l, res.Theta, priv) - minD
 			if e < 0 {
 				e = 0
 			}
@@ -133,14 +143,14 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 			return nil, err
 		}
 		// Dual-certificate update, identical to the online path.
-		d := l.Domain().Dim()
 		dir := vecmath.Sub(theta, thetaHats[idx])
-		grad := make([]float64, d)
 		uvec := make([]float64, xsize)
-		for i := 0; i < xsize; i++ {
-			l.Grad(grad, thetaHats[idx], data.U.Point(i))
-			uvec[i] = vecmath.Clamp(vecmath.Dot(dir, grad), -cfg.S, cfg.S)
-		}
+		convex.DirGradOn(eng, l, uvec, dir, thetaHats[idx], data.U)
+		eng.ForEach(xsize, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				uvec[i] = vecmath.Clamp(uvec[i], -cfg.S, cfg.S)
+			}
+		})
 		if err := state.Update(uvec); err != nil {
 			return nil, err
 		}
@@ -149,7 +159,7 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 	final := state.Histogram()
 	answers := make([][]float64, len(losses))
 	for i, l := range losses {
-		res, err := optimize.Minimize(l, final, optimize.Options{MaxIters: iters})
+		res, err := optimize.Minimize(l, final, optimize.Options{MaxIters: iters, Engine: eng})
 		if err != nil {
 			return nil, err
 		}

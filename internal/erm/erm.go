@@ -34,6 +34,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/sample"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // Oracle answers one CM query under (ε, δ)-differential privacy.
@@ -61,6 +62,11 @@ func gradSensitivity(l convex.Loss, n int) float64 {
 type NoisyGD struct {
 	// Iters is the number of gradient steps (default 64).
 	Iters int
+	// Engine evaluates population gradients chunk-parallel over the
+	// universe; nil runs serially. Purely a speed knob: xeval's reductions
+	// are worker-count deterministic, so the released answer (and hence
+	// the privacy analysis) is identical either way.
+	Engine *xeval.Engine
 }
 
 // Name implements Oracle.
@@ -98,7 +104,7 @@ func (o NoisyGD) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset
 	sc := l.StrongConvexity()
 	diam := dom.Diameter()
 	for t := 1; t <= iters; t++ {
-		convex.GradOn(l, grad, theta, h)
+		convex.GradOn(o.Engine, l, grad, theta, h)
 		for i := range grad {
 			grad[i] += src.Gaussian(0, sigma)
 		}
@@ -125,6 +131,8 @@ func (o NoisyGD) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset
 type OutputPerturbation struct {
 	// SolverIters bounds the internal exact solve (default 800).
 	SolverIters int
+	// Engine parallelizes the internal solve (see NoisyGD.Engine).
+	Engine *xeval.Engine
 }
 
 // Name implements Oracle.
@@ -143,7 +151,7 @@ func (o OutputPerturbation) Answer(src *sample.Source, l convex.Loss, data *data
 	if iters <= 0 {
 		iters = 800
 	}
-	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters})
+	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters, Engine: o.Engine})
 	if err != nil {
 		return nil, err
 	}
@@ -169,6 +177,8 @@ func (o OutputPerturbation) Answer(src *sample.Source, l convex.Loss, data *data
 type NetExpMech struct {
 	// Candidates is the net size (default 64).
 	Candidates int
+	// Engine parallelizes the candidate scoring (see NoisyGD.Engine).
+	Engine *xeval.Engine
 }
 
 // Name implements Oracle.
@@ -193,17 +203,37 @@ func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Data
 		net = append(net, dom.Project(src.GaussianVec(d, dom.Diameter()/2)))
 	}
 
-	// Public score-range bound over (candidate, universe record) pairs.
+	// Public score-range bound over (candidate, universe record) pairs:
+	// one chunk-parallel sweep per candidate collecting per-chunk minima
+	// and maxima (min/max reductions are order-independent, so the result
+	// is worker-count deterministic).
 	u := data.U
 	lo, hi := math.Inf(1), math.Inf(-1)
+	chunks := xeval.Chunks(u.Size())
+	chunkLo := make([]float64, chunks)
+	chunkHi := make([]float64, chunks)
 	for _, th := range net {
-		for i := 0; i < u.Size(); i++ {
-			v := l.Value(th, u.Point(i))
-			if v < lo {
-				lo = v
+		o.Engine.ForEach(u.Size(), func(clo, chi int) {
+			buf := make([]float64, u.Dim())
+			cLo, cHi := math.Inf(1), math.Inf(-1)
+			for i := clo; i < chi; i++ {
+				v := l.Value(th, u.PointInto(i, buf))
+				if v < cLo {
+					cLo = v
+				}
+				if v > cHi {
+					cHi = v
+				}
 			}
-			if v > hi {
-				hi = v
+			c := clo / xeval.ChunkSize
+			chunkLo[c], chunkHi[c] = cLo, cHi
+		})
+		for c := 0; c < chunks; c++ {
+			if chunkLo[c] < lo {
+				lo = chunkLo[c]
+			}
+			if chunkHi[c] > hi {
+				hi = chunkHi[c]
 			}
 		}
 	}
@@ -217,7 +247,7 @@ func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Data
 	h := data.Histogram()
 	scores := make([]float64, len(net))
 	for i, th := range net {
-		scores[i] = -convex.ValueOn(l, th, h)
+		scores[i] = -convex.EvalOn(o.Engine, l, th, h)
 	}
 	idx, err := mech.Exponential(src, scores, sens, eps)
 	if err != nil {
@@ -232,6 +262,8 @@ func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Data
 type NonPrivate struct {
 	// SolverIters bounds the internal solve (default 800).
 	SolverIters int
+	// Engine parallelizes the internal solve (see NoisyGD.Engine).
+	Engine *xeval.Engine
 }
 
 // Name implements Oracle.
@@ -243,7 +275,7 @@ func (o NonPrivate) Answer(_ *sample.Source, l convex.Loss, data *dataset.Datase
 	if iters <= 0 {
 		iters = 800
 	}
-	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters})
+	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters, Engine: o.Engine})
 	if err != nil {
 		return nil, err
 	}

@@ -8,7 +8,9 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mech"
 	"repro/internal/sample"
+	"repro/internal/universe"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // GLMReduction is the dimension-independent oracle for unconstrained
@@ -35,6 +37,10 @@ type GLMReduction struct {
 	ReducedDim int
 	// Iters is the number of noisy gradient steps (default 64).
 	Iters int
+	// Engine evaluates the projected-space population gradients
+	// chunk-parallel over the universe; nil runs serially (see
+	// NoisyGD.Engine for the determinism contract).
+	Engine *xeval.Engine
 }
 
 // Name implements Oracle.
@@ -83,8 +89,9 @@ func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Da
 	// loss simply operates on the clipped features.
 	u := data.U
 	featBound := 0.0
+	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
-		x := u.Point(i)
+		x := u.PointInto(i, buf)
 		var n2 float64
 		for c := 0; c < d; c++ {
 			n2 += x[c] * x[c]
@@ -98,7 +105,7 @@ func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Da
 	}
 	proj := make([][]float64, u.Size())
 	for i := 0; i < u.Size(); i++ {
-		x := u.Point(i)
+		x := u.PointInto(i, buf)
 		p := make([]float64, m)
 		for r := 0; r < m; r++ {
 			var s float64
@@ -146,21 +153,22 @@ func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Da
 	grad := make([]float64, m)
 	diam := redBall.Diameter()
 	for t := 1; t <= iters; t++ {
-		for i := range grad {
-			grad[i] = 0
-		}
-		for i, p := range h.P {
-			if p == 0 {
-				continue
+		o.Engine.SumVec(grad, u.Size(), func(clo, chi int, out []float64) {
+			buf := make([]float64, u.Dim())
+			for i := clo; i < chi; i++ {
+				p := h.P[i]
+				if p == 0 {
+					continue
+				}
+				x := u.PointInto(i, buf)
+				z := vecmath.Dot(theta, proj[i])
+				_, dv := glm.Scalar(z, x[len(x)-1])
+				pv := p * dv
+				for r := 0; r < m; r++ {
+					out[r] += pv * proj[i][r]
+				}
 			}
-			x := u.Point(i)
-			z := vecmath.Dot(theta, proj[i])
-			_, dv := glm.Scalar(z, x[len(x)-1])
-			pv := p * dv
-			for r := 0; r < m; r++ {
-				grad[r] += pv * proj[i][r]
-			}
-		}
+		})
 		for i := range grad {
 			grad[i] += src.Gaussian(0, sigma)
 		}
@@ -192,10 +200,7 @@ func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Da
 // fitBallPredictor solves the public least-squares reconstruction
 // min_{θ∈ball} Σ_x (⟨θ, feat(x)⟩ − target(x))² by projected gradient
 // descent on the (public) normal equations.
-func fitBallPredictor(ball *convex.L2Ball, u interface {
-	Size() int
-	Point(int) []float64
-}, targets []float64) []float64 {
+func fitBallPredictor(ball *convex.L2Ball, u universe.Universe, targets []float64) []float64 {
 	d := ball.Dim()
 	n := u.Size()
 	// Normal-equation pieces: A = Σ x xᵀ / n, b = Σ x·target / n.
@@ -204,8 +209,9 @@ func fitBallPredictor(ball *convex.L2Ball, u interface {
 		a[i] = make([]float64, d)
 	}
 	b := make([]float64, d)
+	buf := make([]float64, u.Dim())
 	for i := 0; i < n; i++ {
-		x := u.Point(i)
+		x := u.PointInto(i, buf)
 		t := targets[i] / float64(n)
 		for r := 0; r < d; r++ {
 			b[r] += x[r] * t

@@ -11,6 +11,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/sample"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // ablationEta sweeps the MW learning rate around the paper's choice via the
@@ -52,7 +53,8 @@ func ablationEta() Experiment {
 			}
 			for _, T := range budgets {
 				ccfg := core.Config{
-					Eps: 1, Delta: 1e-6, Alpha: alpha, Beta: 0.05,
+					Workers: cfg.Workers,
+					Eps:     1, Delta: 1e-6, Alpha: alpha, Beta: 0.05,
 					K: k, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: T,
 				}
 				ans, srv, err := runPMW(ccfg, data, src.Split(), losses)
@@ -111,21 +113,21 @@ func ablationUpdateVector() Experiment {
 				name string
 				vec  func(l convex.Loss, theta, thetaHat []float64) []float64
 			}
+			eng := xeval.New(cfg.Workers)
 			dual := rule{"dual-certificate", func(l convex.Loss, theta, thetaHat []float64) []float64 {
-				dim := l.Domain().Dim()
 				dir := vecmath.Sub(theta, thetaHat)
-				grad := make([]float64, dim)
 				u := make([]float64, g.Size())
-				for i := 0; i < g.Size(); i++ {
-					l.Grad(grad, thetaHat, g.Point(i))
-					u[i] = vecmath.Clamp(vecmath.Dot(dir, grad), -s, s)
+				convex.DirGradOn(eng, l, u, dir, thetaHat, g)
+				for i := range u {
+					u[i] = vecmath.Clamp(u[i], -s, s)
 				}
 				return u
 			}}
 			lossGap := rule{"loss-gap", func(l convex.Loss, theta, thetaHat []float64) []float64 {
 				u := make([]float64, g.Size())
+				buf := make([]float64, g.Dim())
 				for i := 0; i < g.Size(); i++ {
-					x := g.Point(i)
+					x := g.PointInto(i, buf)
 					u[i] = vecmath.Clamp(l.Value(theta, x)-l.Value(thetaHat, x), -s, s)
 				}
 				return u
@@ -135,8 +137,9 @@ func ablationUpdateVector() Experiment {
 			// answer points, so it has no progress guarantee.
 			hypLoss := rule{"hypothesis-loss", func(l convex.Loss, _, thetaHat []float64) []float64 {
 				u := make([]float64, g.Size())
+				buf := make([]float64, g.Dim())
 				for i := 0; i < g.Size(); i++ {
-					u[i] = vecmath.Clamp(l.Value(thetaHat, g.Point(i)), -s, s)
+					u[i] = vecmath.Clamp(l.Value(thetaHat, g.PointInto(i, buf)), -s, s)
 				}
 				return u
 			}}
@@ -257,7 +260,8 @@ func ablationOracle() Experiment {
 			}
 			for _, bias := range biases {
 				ccfg := core.Config{
-					Eps: 1, Delta: 1e-6, Alpha: 0.05, Beta: 0.05,
+					Workers: cfg.Workers,
+					Eps:     1, Delta: 1e-6, Alpha: 0.05, Beta: 0.05,
 					K: k, S: s, Oracle: biasedOracle{bias: bias}, TBudget: 14,
 				}
 				ans, srv, err := runPMW(ccfg, data, src.Split(), losses)

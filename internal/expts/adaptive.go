@@ -71,7 +71,8 @@ func adaptiveGeneralization() Experiment {
 					}
 					// Private analyst: sees PMW answers.
 					srv, err := core.New(core.Config{
-						Eps: 0.5, Delta: 1e-6, Alpha: 0.2, Beta: 0.05,
+						Workers: cfg.Workers,
+						Eps:     0.5, Delta: 1e-6, Alpha: 0.2, Beta: 0.05,
 						K: dim, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: 4,
 					}, data, tsrc.Split())
 					if err != nil {
@@ -106,11 +107,12 @@ func adaptiveGeneralization() Experiment {
 // sampling noise the analyst reconstructed.
 func overfitGap(d *histogram.Histogram, dim int, signs []float64) float64 {
 	var mean float64
+	buf := make([]float64, d.U.Dim())
 	for i, p := range d.P {
 		if p == 0 {
 			continue
 		}
-		x := d.U.Point(i)
+		x := d.U.PointInto(i, buf)
 		var agree float64
 		for j := 0; j < dim; j++ {
 			if x[j]*signs[j] > 0 {

@@ -19,6 +19,10 @@ type RunConfig struct {
 	Seed int64
 	// Quick shrinks sweeps and repetition counts for CI/bench use.
 	Quick bool
+	// Workers sets the xeval worker count for universe-sized computations
+	// (0 = all CPUs). Results are worker-count independent; experiments
+	// stay reproducible for a given seed regardless of parallelism.
+	Workers int
 }
 
 // Experiment is one reproducible experiment.

@@ -96,7 +96,8 @@ func table1Linear() Experiment {
 					return nil, err
 				}
 				pmwCfg := core.Config{
-					Eps: eps, Delta: delta, Alpha: alpha, Beta: 0.05,
+					Workers: cfg.Workers,
+					Eps:     eps, Delta: delta, Alpha: alpha, Beta: 0.05,
 					K: k, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: 6,
 				}
 				pmwAns, srv, err := runPMW(pmwCfg, data, src.Split(), losses)
@@ -188,7 +189,8 @@ func table1Lipschitz() Experiment {
 				}
 				s := convex.ScaleBound(losses[0])
 				pmwCfg := core.Config{
-					Eps: eps, Delta: delta, Alpha: 0.15, Beta: 0.05,
+					Workers: cfg.Workers,
+					Eps:     eps, Delta: delta, Alpha: 0.15, Beta: 0.05,
 					K: c.k, S: s, Oracle: oracle, TBudget: 10,
 				}
 				pmwAns, srv, err := runPMW(pmwCfg, data, src.Split(), losses)
@@ -363,7 +365,8 @@ func table1StronglyConvex() Experiment {
 				}
 				s := convex.ScaleBound(losses[0])
 				pmwCfg := core.Config{
-					Eps: eps, Delta: delta, Alpha: 0.15, Beta: 0.05,
+					Workers: cfg.Workers,
+					Eps:     eps, Delta: delta, Alpha: 0.15, Beta: 0.05,
 					K: k, S: s, Oracle: oracle, TBudget: 8,
 				}
 				ans, _, err := runPMW(pmwCfg, data, src.Split(), losses)

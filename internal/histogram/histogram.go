@@ -196,11 +196,12 @@ func (h *Histogram) CoordinateMarginal(coord int) (values, probs []float64, err 
 		return nil, nil, fmt.Errorf("histogram: coordinate %d outside [0, %d)", coord, h.U.Dim())
 	}
 	acc := map[float64]float64{}
+	buf := make([]float64, h.U.Dim())
 	for i, p := range h.P {
 		if p == 0 {
 			continue
 		}
-		acc[h.U.Point(i)[coord]] += p
+		acc[h.U.PointInto(i, buf)[coord]] += p
 	}
 	values = make([]float64, 0, len(acc))
 	for v := range acc {
@@ -220,11 +221,12 @@ func (h *Histogram) CoordinateMean(coord int) (float64, error) {
 		return 0, fmt.Errorf("histogram: coordinate %d outside [0, %d)", coord, h.U.Dim())
 	}
 	var m float64
+	buf := make([]float64, h.U.Dim())
 	for i, p := range h.P {
 		if p == 0 {
 			continue
 		}
-		m += p * h.U.Point(i)[coord]
+		m += p * h.U.PointInto(i, buf)[coord]
 	}
 	return m, nil
 }

@@ -30,6 +30,7 @@ import (
 	"repro/internal/histogram"
 	"repro/internal/universe"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // State is a multiplicative-weights hypothesis over a finite universe.
@@ -40,6 +41,7 @@ type State struct {
 	eta     float64
 	s       float64
 	updates int
+	eng     *xeval.Engine // chunk-parallel update/materialize; nil = serial
 
 	cache *histogram.Histogram // invalidated by Update
 }
@@ -84,11 +86,36 @@ func New(u universe.Universe, eta, s float64) (*State, error) {
 	}, nil
 }
 
+// SetEngine installs the xeval engine the state uses for chunk-parallel
+// updates and histogram materialization; nil restores serial evaluation.
+// The hypothesis is bit-identical for every engine (xeval's chunking and
+// reductions are worker-count deterministic), so this is purely a speed
+// knob. It returns st for chaining.
+func (st *State) SetEngine(e *xeval.Engine) *State {
+	st.eng = e
+	return st
+}
+
 // Histogram returns the current hypothesis D̂t (cached between updates).
 // Callers must not modify the returned histogram.
+//
+// Materialization is the fused softmax kernel: one chunked pass writes
+// exp(logW − max) and accumulates the normalizer (vecmath.ExpShiftedSum),
+// one chunked pass rescales — both parallel on the state's engine.
 func (st *State) Histogram() *histogram.Histogram {
 	if st.cache == nil {
-		p := vecmath.Softmax(nil, st.logW)
+		n := len(st.logW)
+		m, _ := st.eng.Max(n, func(lo, hi int) float64 {
+			c, _ := vecmath.Max(st.logW[lo:hi])
+			return c
+		})
+		p := make([]float64, n)
+		z := st.eng.Sum(n, func(lo, hi int) float64 {
+			return vecmath.ExpShiftedSum(p[lo:hi], st.logW[lo:hi], m)
+		})
+		st.eng.ForEach(n, func(lo, hi int) {
+			vecmath.ScaleInPlace(p[lo:hi], 1/z)
+		})
 		st.cache = &histogram.Histogram{U: st.u, P: p}
 	}
 	return st.cache
@@ -98,24 +125,42 @@ func (st *State) Histogram() *histogram.Histogram {
 // Entries must satisfy |u(x)| ≤ S (up to a small tolerance); the regret
 // guarantee is void otherwise, so violations are rejected.
 func (st *State) Update(u []float64) error {
-	if len(u) != len(st.logW) {
-		return fmt.Errorf("mw: update length %d != universe size %d", len(u), len(st.logW))
+	n := len(st.logW)
+	if len(u) != n {
+		return fmt.Errorf("mw: update length %d != universe size %d", len(u), n)
 	}
+	// Validate before mutating anything: a rejected update must leave the
+	// hypothesis untouched. NaN compares false, so fold it into the max as
+	// +Inf and locate the offending index only on the (cold) failure path.
 	const slack = 1e-9
-	for i, v := range u {
-		if math.IsNaN(v) || math.Abs(v) > st.s+slack {
-			return fmt.Errorf("mw: update entry %d = %v outside [−S, S], S = %v", i, v, st.s)
+	worst, _ := st.eng.Max(n, func(lo, hi int) float64 {
+		var m float64
+		for _, v := range u[lo:hi] {
+			if math.IsNaN(v) {
+				return math.Inf(1)
+			}
+			if a := math.Abs(v); a > m {
+				m = a
+			}
+		}
+		return m
+	})
+	if !(worst <= st.s+slack) {
+		for i, v := range u {
+			if math.IsNaN(v) || math.Abs(v) > st.s+slack {
+				return fmt.Errorf("mw: update entry %d = %v outside [−S, S], S = %v", i, v, st.s)
+			}
 		}
 	}
-	for i, v := range u {
-		st.logW[i] -= st.eta * v
-	}
-	// Re-center log weights to keep them bounded over long runs; softmax
-	// is shift-invariant so this does not change the hypothesis.
-	m, _ := vecmath.Max(st.logW)
-	for i := range st.logW {
-		st.logW[i] -= m
-	}
+	// Fused step: logW ← logW − η·u while computing the new maximum, then
+	// re-center so log weights stay bounded over long runs (softmax is
+	// shift-invariant, so this does not change the hypothesis).
+	m, _ := st.eng.Max(n, func(lo, hi int) float64 {
+		return vecmath.AddScaledMax(st.logW[lo:hi], -st.eta, u[lo:hi])
+	})
+	st.eng.ForEach(n, func(lo, hi int) {
+		vecmath.AddConst(st.logW[lo:hi], -m)
+	})
 	st.updates++
 	st.cache = nil
 	return nil

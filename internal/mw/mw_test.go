@@ -8,6 +8,7 @@ import (
 	"repro/internal/sample"
 	"repro/internal/universe"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 func cube(t *testing.T, d int) *universe.Hypercube {
@@ -295,5 +296,58 @@ func TestParameterHelpers(t *testing.T) {
 	st, _ := New(cube(t, 2), 0.3, 1.5)
 	if st.Eta() != 0.3 || st.Scale() != 1.5 {
 		t.Error("accessors wrong")
+	}
+}
+
+// TestStateDeterministicAcrossEngines drives identical update sequences
+// through a serial and an 8-worker state: hypotheses must stay
+// bit-identical (xeval's chunking and reductions are worker-count
+// deterministic), so the engine is a pure speed knob.
+func TestStateDeterministicAcrossEngines(t *testing.T) {
+	u, err := universe.NewHypercube(12) // 4096 elements: multiple chunks
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(workers int) *State {
+		st, err := New(u, 0.3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.SetEngine(xeval.New(workers))
+	}
+	serial, parallel := mk(1), mk(8)
+	src := sample.New(9)
+	for step := 0; step < 5; step++ {
+		uv := make([]float64, u.Size())
+		for i := range uv {
+			uv[i] = 2*src.Float64() - 1
+		}
+		if err := serial.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+		if err := parallel.Update(uv); err != nil {
+			t.Fatal(err)
+		}
+		hs, hp := serial.Histogram(), parallel.Histogram()
+		for i := range hs.P {
+			if hs.P[i] != hp.P[i] {
+				t.Fatalf("step %d: P[%d] differs: %v vs %v", step, i, hs.P[i], hp.P[i])
+			}
+		}
+	}
+	// A rejected update must leave both states untouched and identical.
+	bad := make([]float64, u.Size())
+	bad[100] = 5 // outside [−S, S]
+	if err := serial.Update(bad); err == nil {
+		t.Fatal("serial accepted out-of-scale update")
+	}
+	if err := parallel.Update(bad); err == nil {
+		t.Fatal("parallel accepted out-of-scale update")
+	}
+	hs, hp := serial.Histogram(), parallel.Histogram()
+	for i := range hs.P {
+		if hs.P[i] != hp.P[i] {
+			t.Fatalf("post-reject P[%d] differs", i)
+		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/convex"
 	"repro/internal/histogram"
 	"repro/internal/vecmath"
+	"repro/internal/xeval"
 )
 
 // Options configures Minimize. The zero value picks sensible defaults.
@@ -28,6 +29,11 @@ type Options struct {
 	Tol float64
 	// Init is the starting point; Domain().Center() when nil.
 	Init []float64
+	// Engine evaluates the per-iteration population values and gradients
+	// chunk-parallel over the universe; nil runs serially. Results are
+	// identical either way (xeval's reductions are worker-count
+	// deterministic).
+	Engine *xeval.Engine
 }
 
 // Result reports the solver outcome.
@@ -64,7 +70,7 @@ func Minimize(l convex.Loss, h *histogram.Histogram, opts Options) (Result, erro
 		if theta := es.ExactMinimize(h); theta != nil {
 			return Result{
 				Theta:     theta,
-				Value:     convex.ValueOn(l, theta, h),
+				Value:     convex.EvalOn(opts.Engine, l, theta, h),
 				Iters:     0,
 				Converged: true,
 			}, nil
@@ -91,7 +97,7 @@ func Minimize(l convex.Loss, h *histogram.Histogram, opts Options) (Result, erro
 
 	grad := make([]float64, d)
 	best := vecmath.Copy(theta)
-	bestVal := convex.ValueOn(l, theta, h)
+	bestVal := convex.EvalOn(opts.Engine, l, theta, h)
 	avg := vecmath.Copy(theta)
 	var avgCount float64 = 1
 
@@ -99,7 +105,7 @@ func Minimize(l convex.Loss, h *histogram.Histogram, opts Options) (Result, erro
 	iters := 0
 	for t := 1; t <= opts.MaxIters; t++ {
 		iters = t
-		convex.GradOn(l, grad, theta, h)
+		convex.GradOn(opts.Engine, l, grad, theta, h)
 		var step float64
 		if sigma > 0 {
 			step = 1 / (sigma * float64(t))
@@ -118,7 +124,7 @@ func Minimize(l convex.Loss, h *histogram.Histogram, opts Options) (Result, erro
 			avg[i] += (theta[i] - avg[i]) / avgCount
 		}
 
-		if v := convex.ValueOn(l, theta, h); v < bestVal {
+		if v := convex.EvalOn(opts.Engine, l, theta, h); v < bestVal {
 			bestVal = v
 			copy(best, theta)
 		}
@@ -131,7 +137,7 @@ func Minimize(l convex.Loss, h *histogram.Histogram, opts Options) (Result, erro
 	// The averaged iterate sometimes beats the best raw iterate; keep
 	// whichever has the lower objective.
 	avgProj := dom.Project(avg)
-	if v := convex.ValueOn(l, avgProj, h); v < bestVal {
+	if v := convex.EvalOn(opts.Engine, l, avgProj, h); v < bestVal {
 		bestVal = v
 		best = avgProj
 	}
@@ -156,7 +162,7 @@ func Excess(l convex.Loss, theta []float64, h *histogram.Histogram, opts Options
 	if err != nil {
 		return 0, err
 	}
-	e := convex.ValueOn(l, theta, h) - mv
+	e := convex.EvalOn(opts.Engine, l, theta, h) - mv
 	if e < 0 {
 		return 0, nil
 	}

@@ -53,7 +53,7 @@ func TestMinimizeStronglyConvexFast(t *testing.T) {
 	}
 	// Strongly convex objective: verify first-order optimality via small
 	// gradient at an interior optimum, or projection stationarity.
-	grad := convex.GradOn(rg, nil, res.Theta, h)
+	grad := convex.GradOn(nil, rg, nil, res.Theta, h)
 	moved := vecmath.Dist2(ball.Project(vecmath.AddScaled(vecmath.Copy(res.Theta), -0.1, grad)), res.Theta)
 	if moved > 1e-3 {
 		t.Errorf("stationarity violated: projected step moves %v", moved)

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/convex"
+	"repro/internal/core"
 )
 
 // httpapi.go is the HTTP/JSON front end over a Manager. The API surface:
@@ -164,6 +165,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, core.ErrInvalidWorkers):
+		// Malformed session request (e.g. "workers": -1): a client error,
+		// listed explicitly so the mapping is load-bearing, not accidental.
+		return http.StatusBadRequest
 	default:
 		return http.StatusBadRequest
 	}

@@ -35,6 +35,7 @@ import (
 	"repro/internal/erm"
 	"repro/internal/sample"
 	"repro/internal/universe"
+	"repro/internal/xeval"
 )
 
 // Typed failures the API distinguishes. Callers match with errors.Is.
@@ -67,6 +68,16 @@ type SessionParams struct {
 	TBudget int `json:"tbudget,omitempty"`
 	// S is the loss-family scale bound the session enforces.
 	S float64 `json:"s,omitempty"`
+	// Workers sets the xeval worker count for the session's universe
+	// computations — public argmin solves, the err_ℓ value, certificate
+	// and MW kernels (0 = the manager's default, which itself defaults to
+	// all CPUs). The single-query oracle is shared across sessions and
+	// keeps the manager-level engine, so ⊤-answer oracle solves are not
+	// governed by this per-session value. Negative values are rejected
+	// with HTTP 400 — the knob is a speed dial, never a correctness or
+	// privacy dial: xeval results are bit-identical for every worker
+	// count.
+	Workers int `json:"workers,omitempty"`
 }
 
 // merged fills zero fields from defaults.
@@ -91,6 +102,9 @@ func (p SessionParams) merged(def SessionParams) SessionParams {
 	}
 	if p.S == 0 {
 		p.S = def.S
+	}
+	if p.Workers == 0 {
+		p.Workers = def.Workers
 	}
 	return p
 }
@@ -154,10 +168,13 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Source == nil {
 		return nil, fmt.Errorf("service: nil random source")
 	}
-	if cfg.Oracle == nil {
-		cfg.Oracle = erm.NoisyGD{}
-	}
 	cfg.Defaults = cfg.Defaults.merged(DefaultSessionParams())
+	if cfg.Defaults.Workers < 0 {
+		return nil, fmt.Errorf("service: default workers %d: %w", cfg.Defaults.Workers, core.ErrInvalidWorkers)
+	}
+	if cfg.Oracle == nil {
+		cfg.Oracle = erm.NoisyGD{Engine: xeval.New(cfg.Defaults.Workers)}
+	}
 	if cfg.Limits.MaxSessions <= 0 {
 		cfg.Limits.MaxSessions = 64
 	}
@@ -211,6 +228,7 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		K: p.K, S: p.S,
 		Oracle:  m.cfg.Oracle,
 		TBudget: p.TBudget,
+		Workers: p.Workers,
 	}, m.cfg.Data, src)
 	if err != nil {
 		m.mu.Lock()
@@ -314,22 +332,27 @@ func (m *Manager) Shutdown() {
 	}
 }
 
-// OracleByName maps a CLI/config oracle name to an erm.Oracle. The empty
-// name selects NoisyGD, the generic Lipschitz oracle.
-func OracleByName(name string) (erm.Oracle, error) {
+// OracleByName maps a CLI/config oracle name to an erm.Oracle running its
+// universe-sized computations on workers xeval workers (0 = all CPUs). The
+// empty name selects NoisyGD, the generic Lipschitz oracle.
+func OracleByName(name string, workers int) (erm.Oracle, error) {
+	if workers < 0 {
+		return nil, fmt.Errorf("service: oracle workers %d: %w", workers, core.ErrInvalidWorkers)
+	}
+	eng := xeval.New(workers)
 	switch name {
 	case "", "noisygd":
-		return erm.NoisyGD{}, nil
+		return erm.NoisyGD{Engine: eng}, nil
 	case "netexp":
-		return erm.NetExpMech{}, nil
+		return erm.NetExpMech{Engine: eng}, nil
 	case "outputperturb":
-		return erm.OutputPerturbation{}, nil
+		return erm.OutputPerturbation{Engine: eng}, nil
 	case "glmreduce":
-		return erm.GLMReduction{}, nil
+		return erm.GLMReduction{Engine: eng}, nil
 	case "laplace-linear":
 		return erm.LaplaceLinear{}, nil
 	case "nonprivate":
-		return erm.NonPrivate{}, nil
+		return erm.NonPrivate{Engine: eng}, nil
 	default:
 		return nil, fmt.Errorf("service: unknown oracle %q (have noisygd, netexp, outputperturb, glmreduce, laplace-linear, nonprivate)", name)
 	}

@@ -378,11 +378,11 @@ func TestConcurrentCreateRespectsLimit(t *testing.T) {
 
 func TestOracleByName(t *testing.T) {
 	for _, name := range []string{"", "noisygd", "netexp", "outputperturb", "glmreduce", "laplace-linear", "nonprivate"} {
-		if _, err := OracleByName(name); err != nil {
+		if _, err := OracleByName(name, 0); err != nil {
 			t.Errorf("OracleByName(%q): %v", name, err)
 		}
 	}
-	if _, err := OracleByName("bogus"); err == nil {
+	if _, err := OracleByName("bogus", 0); err == nil {
 		t.Error("OracleByName accepted an unknown oracle")
 	}
 }

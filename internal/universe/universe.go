@@ -28,6 +28,12 @@ type Universe interface {
 	Size() int
 	// Point returns the vector encoding of element i, 0 ≤ i < Size().
 	Point(i int) []float64
+	// PointInto copies the vector encoding of element i into buf (which
+	// must have length ≥ Dim()) and returns buf[:Dim()]. It never
+	// allocates, making it the accessor of choice inside hot loops: each
+	// goroutine of a parallel sweep reuses its own buffer, independent of
+	// whether the universe shares or synthesizes its Point slices.
+	PointInto(i int, buf []float64) []float64
 	// Dim returns the length of every Point vector.
 	Dim() int
 	// String returns a short human-readable description.
@@ -70,6 +76,13 @@ func (h *Hypercube) Size() int { return len(h.points) }
 
 // Point returns the i-th sign pattern scaled to the unit sphere.
 func (h *Hypercube) Point(i int) []float64 { return h.points[i] }
+
+// PointInto copies element i into buf without allocating.
+func (h *Hypercube) PointInto(i int, buf []float64) []float64 {
+	buf = buf[:h.d]
+	copy(buf, h.points[i])
+	return buf
+}
 
 // Dim returns d.
 func (h *Hypercube) Dim() int { return h.d }
@@ -152,6 +165,13 @@ func (g *LabeledGrid) Size() int { return len(g.points) }
 // Point returns element i as (features..., label).
 func (g *LabeledGrid) Point(i int) []float64 { return g.points[i] }
 
+// PointInto copies element i into buf without allocating.
+func (g *LabeledGrid) PointInto(i int, buf []float64) []float64 {
+	buf = buf[:g.featDim+1]
+	copy(buf, g.points[i])
+	return buf
+}
+
 // Dim returns featDim + 1.
 func (g *LabeledGrid) Dim() int { return g.featDim + 1 }
 
@@ -194,6 +214,13 @@ func (p *Points) Size() int { return len(p.points) }
 // Point returns element i.
 func (p *Points) Point(i int) []float64 { return p.points[i] }
 
+// PointInto copies element i into buf without allocating.
+func (p *Points) PointInto(i int, buf []float64) []float64 {
+	buf = buf[:p.dim]
+	copy(buf, p.points[i])
+	return buf
+}
+
 // Dim returns the shared dimension.
 func (p *Points) Dim() int { return p.dim }
 
@@ -209,8 +236,9 @@ func (p *Points) String() string {
 func Nearest(u Universe, v []float64) int {
 	best := math.Inf(1)
 	bestIdx := 0
+	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
-		p := u.Point(i)
+		p := u.PointInto(i, buf)
 		var d2 float64
 		for j := range p {
 			diff := p[j] - v[j]
@@ -228,8 +256,9 @@ func Nearest(u Universe, v []float64) int {
 // used to certify Lipschitz/scale constants for loss families.
 func MaxNorm(u Universe) float64 {
 	var m float64
+	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
-		p := u.Point(i)
+		p := u.PointInto(i, buf)
 		var n2 float64
 		for _, x := range p {
 			n2 += x * x

@@ -218,3 +218,40 @@ func TestLabeledGridFeatureRadius(t *testing.T) {
 		t.Errorf("max feature norm = %v, want 0.5 (corner)", maxFeat)
 	}
 }
+
+// TestPointIntoMatchesPoint checks the zero-alloc accessor agrees with
+// Point on every element of every universe kind, tolerates oversized
+// buffers, and does not allocate.
+func TestPointIntoMatchesPoint(t *testing.T) {
+	h, _ := NewHypercube(4)
+	g, _ := NewLabeledGrid(2, 3, 1.0, 2, 1.0)
+	p, _ := NewPoints([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	for _, u := range []Universe{h, g, p} {
+		buf := make([]float64, u.Dim()+3) // oversized on purpose
+		for i := 0; i < u.Size(); i++ {
+			got := u.PointInto(i, buf)
+			want := u.Point(i)
+			if len(got) != u.Dim() {
+				t.Fatalf("%s: PointInto(%d) has len %d, want %d", u, i, len(got), u.Dim())
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Errorf("%s: PointInto(%d)[%d] = %v, Point = %v", u, i, j, got[j], want[j])
+				}
+			}
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			u.PointInto(0, buf)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: PointInto allocates %v per call", u, allocs)
+		}
+		// Writing through the returned buffer must not corrupt the universe.
+		out := u.PointInto(0, buf)
+		orig := append([]float64(nil), u.Point(0)...)
+		out[0] += 42
+		if u.Point(0)[0] != orig[0] {
+			t.Errorf("%s: PointInto aliases internal storage", u)
+		}
+	}
+}

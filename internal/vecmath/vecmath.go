@@ -246,6 +246,54 @@ func Softmax(dst, a []float64) []float64 {
 	return dst
 }
 
+// ScaleInPlace multiplies every entry of a by c and returns a.
+func ScaleInPlace(a []float64, c float64) []float64 {
+	for i := range a {
+		a[i] *= c
+	}
+	return a
+}
+
+// ExpShiftedSum writes exp(aᵢ − shift) into dst and returns the sum of the
+// written entries. It is the fused exp half of a softmax: callers compute
+// shift = max(a) for stability, then normalize dst by the returned total.
+// Fusing the exponential with its accumulation keeps the multiplicative-
+// weights histogram materialization a single pass per chunk.
+func ExpShiftedSum(dst, a []float64, shift float64) float64 {
+	checkLen("ExpShiftedSum", dst, a)
+	var s float64
+	for i, v := range a {
+		e := math.Exp(v - shift)
+		dst[i] = e
+		s += e
+	}
+	return s
+}
+
+// AddScaledMax sets dst = dst + c·a in place and returns the maximum of
+// the updated entries (−Inf for an empty slice). It is the fused
+// multiplicative-weights update kernel: one pass applies the log-space
+// step and computes the re-centering shift the next softmax needs.
+func AddScaledMax(dst []float64, c float64, a []float64) float64 {
+	checkLen("AddScaledMax", dst, a)
+	m := math.Inf(-1)
+	for i := range dst {
+		dst[i] += c * a[i]
+		if dst[i] > m {
+			m = dst[i]
+		}
+	}
+	return m
+}
+
+// AddConst adds c to every entry of a and returns a.
+func AddConst(a []float64, c float64) []float64 {
+	for i := range a {
+		a[i] += c
+	}
+	return a
+}
+
 // ProjectL2Ball returns the Euclidean projection of a onto the ball
 // {θ : ‖θ‖₂ ≤ r}. For r ≤ 0 it returns the origin.
 func ProjectL2Ball(a []float64, r float64) []float64 {

@@ -306,3 +306,44 @@ func TestFillZerosCopy(t *testing.T) {
 		t.Error("Copy aliased input")
 	}
 }
+
+func TestScaleInPlaceAndAddConst(t *testing.T) {
+	a := []float64{1, -2, 3}
+	ScaleInPlace(a, 2)
+	if a[0] != 2 || a[1] != -4 || a[2] != 6 {
+		t.Errorf("ScaleInPlace = %v", a)
+	}
+	AddConst(a, -1)
+	if a[0] != 1 || a[1] != -5 || a[2] != 5 {
+		t.Errorf("AddConst = %v", a)
+	}
+}
+
+func TestExpShiftedSumMatchesSoftmax(t *testing.T) {
+	a := []float64{0.5, -1.25, 3, 0, -7}
+	m, _ := Max(a)
+	dst := make([]float64, len(a))
+	z := ExpShiftedSum(dst, a, m)
+	ScaleInPlace(dst, 1/z)
+	want := Softmax(nil, a)
+	for i := range want {
+		if math.Abs(dst[i]-want[i]) > 1e-15 {
+			t.Errorf("fused softmax[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAddScaledMax(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	a := []float64{10, -1, 0}
+	m := AddScaledMax(dst, 0.5, a)
+	if dst[0] != 6 || dst[1] != 1.5 || dst[2] != 3 {
+		t.Errorf("AddScaledMax dst = %v", dst)
+	}
+	if m != 6 {
+		t.Errorf("AddScaledMax max = %v, want 6", m)
+	}
+	if m := AddScaledMax(nil, 1, nil); !math.IsInf(m, -1) {
+		t.Errorf("empty AddScaledMax = %v, want -Inf", m)
+	}
+}

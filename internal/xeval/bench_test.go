@@ -1,0 +1,34 @@
+package xeval
+
+import (
+	"math"
+	"testing"
+)
+
+// benchWork is a per-element cost comparable to a GLM gradient kernel:
+// a short dot product plus a transcendental.
+func benchWork(vals []float64, lo, hi int) float64 {
+	var s float64
+	for i := lo; i < hi; i++ {
+		s += math.Exp(-vals[i] * vals[i])
+	}
+	return s
+}
+
+func benchSum(b *testing.B, workers int) {
+	const n = 1 << 16
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = float64(i%97) / 97
+	}
+	e := New(workers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Sum(n, func(lo, hi int) float64 { return benchWork(vals, lo, hi) })
+	}
+}
+
+func BenchmarkEngineSumSerial(b *testing.B)   { benchSum(b, 1) }
+func BenchmarkEngineSum4Workers(b *testing.B) { benchSum(b, 4) }
+func BenchmarkEngineSum8Workers(b *testing.B) { benchSum(b, 8) }
+func BenchmarkEngineSumNumCPU(b *testing.B)   { benchSum(b, 0) }

@@ -1,0 +1,227 @@
+// Package xeval is the universe-expectation engine: a chunked, parallel
+// map/reduce layer over universe index ranges [0, |X|).
+//
+// Every hot path in the reproduction — population losses and gradients
+// (convex.EvalOn/GradOn), the public argmin solves (optimize), the MW
+// histogram materialization (mw), and the Claim-3.5 dual certificate
+// (core) — is an expectation or per-element map over the dense universe.
+// This package gives all of them one execution substrate with two
+// properties the rest of the system relies on:
+//
+//  1. Determinism. Chunk boundaries depend only on the range length n
+//     (fixed chunk size, never the worker count), and reductions combine
+//     per-chunk partials with a fixed pairwise tree. The result is
+//     bit-identical for every worker count, so "parallel" is a pure
+//     speedup knob: privacy-relevant released values do not depend on how
+//     many cores the server happens to have.
+//
+//  2. Zero coordination inside a chunk. Workers claim whole chunks from an
+//     atomic counter and touch disjoint index ranges, so kernels may write
+//     into disjoint slices of caller-owned buffers without locks.
+//
+// A nil *Engine is valid everywhere and means "serial": the same chunking
+// and the same pairwise reduction run inline on the caller's goroutine.
+package xeval
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ChunkSize is the fixed number of universe indices per chunk. It depends
+// on nothing but this constant, so chunk boundaries — and therefore the
+// reduction tree and the bit-exact result — are a function of n alone.
+// 2048 elements amortize goroutine handoff (~µs) against per-chunk kernel
+// work (tens of µs for GLM gradients) while still giving 32 chunks at
+// |X| = 2^16 for load balancing across 8–16 workers.
+const ChunkSize = 2048
+
+// Engine schedules chunked map/reduce calls over index ranges. The zero
+// of workers is resolved at construction; a nil *Engine runs serially.
+// Engines are stateless between calls and safe for concurrent use.
+type Engine struct {
+	workers int
+}
+
+// New returns an engine with the given worker count. workers <= 0 selects
+// runtime.NumCPU().
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	return &Engine{workers: workers}
+}
+
+// Workers returns the engine's worker count (1 for a nil engine).
+func (e *Engine) Workers() int {
+	if e == nil {
+		return 1
+	}
+	return e.workers
+}
+
+// Chunks returns the number of chunks an n-element range splits into.
+func Chunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n + ChunkSize - 1) / ChunkSize
+}
+
+// chunkBounds returns the half-open index range of chunk c.
+func chunkBounds(c, n int) (lo, hi int) {
+	lo = c * ChunkSize
+	hi = lo + ChunkSize
+	if hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+// run executes f(c) for every chunk index c in [0, chunks), on the
+// caller's goroutine when the engine is serial (or the range is a single
+// chunk) and on min(workers, chunks) goroutines otherwise. It returns
+// after every chunk has completed.
+func (e *Engine) run(chunks int, f func(c int)) {
+	if chunks <= 0 {
+		return
+	}
+	w := e.Workers()
+	if w > chunks {
+		w = chunks
+	}
+	if w <= 1 {
+		for c := 0; c < chunks; c++ {
+			f(c)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for i := 0; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				f(c)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEach runs f over every chunk of [0, n). Chunks execute concurrently;
+// f must only touch state associated with its own [lo, hi) range.
+func (e *Engine) ForEach(n int, f func(lo, hi int)) {
+	e.run(Chunks(n), func(c int) {
+		lo, hi := chunkBounds(c, n)
+		f(lo, hi)
+	})
+}
+
+// Sum reduces f's per-chunk partial sums over [0, n) with a pairwise tree,
+// returning 0 for an empty range. The combination order is fixed by n
+// alone, so the result is bit-identical for every worker count.
+func (e *Engine) Sum(n int, f func(lo, hi int) float64) float64 {
+	chunks := Chunks(n)
+	if chunks == 0 {
+		return 0
+	}
+	parts := make([]float64, chunks)
+	e.run(chunks, func(c int) {
+		lo, hi := chunkBounds(c, n)
+		parts[c] = f(lo, hi)
+	})
+	return pairwiseSum(parts)
+}
+
+// Max reduces f's per-chunk partial maxima over [0, n). It returns
+// negative infinity semantics via ok=false for an empty range.
+func (e *Engine) Max(n int, f func(lo, hi int) float64) (m float64, ok bool) {
+	chunks := Chunks(n)
+	if chunks == 0 {
+		return 0, false
+	}
+	parts := make([]float64, chunks)
+	e.run(chunks, func(c int) {
+		lo, hi := chunkBounds(c, n)
+		parts[c] = f(lo, hi)
+	})
+	m = parts[0]
+	for _, v := range parts[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, true
+}
+
+// SumVec accumulates per-chunk partial vectors of length dim into dst
+// (which it zeroes first) and returns dst. Each chunk receives its own
+// zeroed out buffer; partials combine with the same pairwise tree as Sum,
+// coordinate by coordinate, so the result is bit-deterministic.
+func (e *Engine) SumVec(dst []float64, n int, f func(lo, hi int, out []float64)) []float64 {
+	for i := range dst {
+		dst[i] = 0
+	}
+	chunks := Chunks(n)
+	if chunks == 0 {
+		return dst
+	}
+	dim := len(dst)
+	backing := make([]float64, chunks*dim)
+	e.run(chunks, func(c int) {
+		lo, hi := chunkBounds(c, n)
+		f(lo, hi, backing[c*dim:(c+1)*dim])
+	})
+	parts := make([][]float64, chunks)
+	for c := range parts {
+		parts[c] = backing[c*dim : (c+1)*dim]
+	}
+	acc := pairwiseSumVec(parts)
+	copy(dst, acc)
+	return dst
+}
+
+// pairwiseSum combines partials with a balanced binary tree: split in
+// half, sum each half recursively, add. Beyond determinism this bounds
+// rounding error growth at O(log n) instead of O(n).
+func pairwiseSum(parts []float64) float64 {
+	switch len(parts) {
+	case 0:
+		return 0
+	case 1:
+		return parts[0]
+	case 2:
+		return parts[0] + parts[1]
+	}
+	mid := len(parts) / 2
+	return pairwiseSum(parts[:mid]) + pairwiseSum(parts[mid:])
+}
+
+// pairwiseSumVec combines partial vectors with the same tree shape as
+// pairwiseSum, accumulating the right half into the left in place.
+func pairwiseSumVec(parts [][]float64) []float64 {
+	switch len(parts) {
+	case 1:
+		return parts[0]
+	case 2:
+		a, b := parts[0], parts[1]
+		for i := range a {
+			a[i] += b[i]
+		}
+		return a
+	}
+	mid := len(parts) / 2
+	a := pairwiseSumVec(parts[:mid])
+	b := pairwiseSumVec(parts[mid:])
+	for i := range a {
+		a[i] += b[i]
+	}
+	return a
+}

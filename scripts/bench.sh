@@ -1,0 +1,28 @@
+#!/usr/bin/env sh
+# bench.sh — run the repo's benchmarks and archive the results as JSON so
+# the performance trajectory is tracked PR over PR.
+#
+# Usage:
+#   scripts/bench.sh                  # full sweep, writes BENCH_<date>.json
+#   BENCHTIME=10x scripts/bench.sh    # override iteration count
+#   BENCH=GradOn scripts/bench.sh     # restrict to matching benchmarks
+#
+# The output file is `go test -json` events (one JSON object per line);
+# benchmark result lines live in the "Output" fields of events whose
+# Action is "output". Compare runs with e.g.
+#   jq -r 'select(.Action=="output") | .Output' BENCH_2026-07-27.json | grep Benchmark
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1x}"
+BENCH="${BENCH:-.}"
+OUT="BENCH_$(date +%F).json"
+
+echo "bench: pattern=$BENCH benchtime=$BENCHTIME -> $OUT" >&2
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -json ./... > "$OUT"
+
+# Human-readable summary to stderr.
+grep -o '"Output":"Benchmark[^"]*"' "$OUT" \
+	| sed -e 's/^"Output":"//' -e 's/"$//' -e 's/\\t/\t/g' -e 's/\\n$//' >&2 || true
+echo "bench: wrote $OUT" >&2
