@@ -21,8 +21,10 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/expts"
+	"repro/internal/mech"
 )
 
 func main() {
@@ -35,6 +37,8 @@ func main() {
 		for _, e := range expts.All() {
 			fmt.Printf("%-10s %s\n", e.ID, e.Title)
 		}
+		fmt.Printf("\naccountants: %s (default %s)\n",
+			strings.Join(mech.AccountantNames(), ", "), mech.DefaultAccountant)
 	case "run":
 		if err := runCmd(os.Args[2:]); err != nil {
 			fmt.Fprintln(os.Stderr, "pmwcm:", err)
@@ -62,12 +66,12 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   pmwcm list
-  pmwcm run [-seed N] [-quick] [-csv] [-workers W] (all | ID...)
+  pmwcm run [-seed N] [-quick] [-csv] [-workers W] [-accountant NAME] (all | ID...)
   pmwcm synth [-in data.csv] [-out synth.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
-              [-workers W] [-maxsessions N] [-seed S]`)
+              [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]`)
 }
 
 func runCmd(args []string) error {
@@ -76,6 +80,7 @@ func runCmd(args []string) error {
 	quick := fs.Bool("quick", false, "reduced sweeps (for smoke testing)")
 	csv := fs.Bool("csv", false, "emit CSV instead of aligned tables")
 	workers := fs.Int("workers", runtime.NumCPU(), "xeval workers per universe-sized computation")
+	accountant := fs.String("accountant", "", "privacy accountant ("+strings.Join(mech.AccountantNames(), ", ")+"; empty = "+mech.DefaultAccountant+")")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -95,7 +100,7 @@ func runCmd(args []string) error {
 			selected = append(selected, e)
 		}
 	}
-	cfg := expts.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers}
+	cfg := expts.RunConfig{Seed: *seed, Quick: *quick, Workers: *workers, Accountant: *accountant}
 	for _, e := range selected {
 		tbl, err := e.Run(cfg)
 		if err != nil {

@@ -10,11 +10,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
 	"repro/internal/dataio"
 	"repro/internal/dataset"
+	"repro/internal/mech"
 	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/universe"
@@ -50,6 +52,7 @@ func serveCmd(args []string) error {
 	scale := fs.Float64("s", 2, "default loss-family scale bound S")
 
 	oracleName := fs.String("oracle", "noisygd", "single-query oracle (noisygd, netexp, outputperturb, glmreduce, laplace-linear, nonprivate)")
+	accountant := fs.String("accountant", "", "default privacy accountant per session ("+strings.Join(mech.AccountantNames(), ", ")+"; empty = "+mech.DefaultAccountant+")")
 	workers := fs.Int("workers", runtime.NumCPU(), "xeval workers per universe-sized computation (intra-query parallelism)")
 	maxSessions := fs.Int("maxsessions", 64, "maximum concurrently open sessions")
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
@@ -98,7 +101,8 @@ func serveCmd(args []string) error {
 			Eps: *eps, Delta: *delta,
 			Alpha: *alpha, Beta: *beta,
 			K: *k, TBudget: *tBudget, S: *scale,
-			Workers: *workers,
+			Workers:    *workers,
+			Accountant: *accountant,
 		},
 		Limits: service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
 	})
@@ -111,8 +115,8 @@ func serveCmd(args []string) error {
 		return err
 	}
 	srv := &http.Server{Handler: service.NewHandler(mgr)}
-	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, workers=%d, defaults ε=%g δ=%g α=%g K=%d)\n",
-		ln.Addr(), data.N(), g.String(), oracle.Name(), *workers, *eps, *delta, *alpha, *k)
+	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, accountant=%s, workers=%d, defaults ε=%g δ=%g α=%g K=%d)\n",
+		ln.Addr(), data.N(), g.String(), oracle.Name(), mgr.Defaults().Accountant, *workers, *eps, *delta, *alpha, *k)
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// close every session so their final state is consistent.

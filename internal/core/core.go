@@ -30,9 +30,21 @@
 // (ε/2, δ/2) via the strong-composition schedule of Theorem 3.10. Accuracy
 // (Theorem 3.8): every query is answered with excess risk ≤ α provided n
 // exceeds both the oracle's requirement and the sparse-vector bound.
+//
+// Composition is pluggable: Config.Accountant selects a mech.Accountant
+// (the DRV10 default reproduces Theorem 3.9's accounting exactly; "zcdp"
+// composes Gaussian-noise oracle spends in ρ and certifies a strictly
+// larger update horizon T from the same budget). The per-oracle-call noise
+// level always follows Theorem 3.10's schedule at the *requested* horizon,
+// so ⊤-answer accuracy is independent of the accounting in force; an
+// extended horizon does run the sparse vector over more epochs, whose
+// threshold noise grows ~√T within its fixed (ε/2, δ/2) slice — the same
+// trade a larger TBudget makes, surfaced here by the accountant instead of
+// the operator.
 package core
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
@@ -83,6 +95,19 @@ type Config struct {
 	// worker count (xeval's reductions are deterministic), so this knob
 	// never touches the privacy analysis.
 	Workers int
+	// Accountant names the privacy-accounting strategy from the
+	// internal/mech registry ("basic", "advanced", "zcdp"; empty selects
+	// "advanced", the DRV10 strong composition the paper's Theorem 3.9
+	// uses). The accountant owns the whole interaction budget: the
+	// sparse-vector slice is reserved through it, the oracle-call horizon
+	// is however many calls at Figure 3's per-call noise level it
+	// certifies, and every ⊤ spend is recorded with the tightest cost the
+	// oracle declares (Gaussian oracles report zCDP ρ). Unknown names are
+	// rejected with a mech.ErrUnknownAccountant-wrapped error (HTTP 400).
+	Accountant string
+	// AccountantParams optionally carries accountant-specific JSON
+	// parameters (e.g. {"delta_prime": …} for "advanced").
+	AccountantParams json.RawMessage
 	// Trace enables per-update diagnostics (costs extra computation and
 	// reads the private data for *reporting only*; leave off outside
 	// experiments).
@@ -163,7 +188,10 @@ type Server struct {
 	sv     *sparse.SV
 	state  *mw.State
 	eng    *xeval.Engine
-	orc    mech.Accountant
+	acct   mech.Accountant
+	// callCost is the oracle's declared cost of one (ε₀, δ₀) call — what
+	// each ⊤ answer spends on the accountant.
+	callCost mech.Cost
 
 	answered int
 	traces   []UpdateTrace
@@ -181,16 +209,54 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 		return nil, fmt.Errorf("core: nil random source")
 	}
 	xsize := data.U.Size()
-	T := mw.UpdateBudget(cfg.S, cfg.Alpha, xsize)
+	// The MW regret bound caps useful updates at 64·S²·log|X|/α²; the
+	// requested horizon is that bound or the practical TBudget override.
+	tMW := mw.UpdateBudget(cfg.S, cfg.Alpha, xsize)
+	tReq := tMW
 	if cfg.TBudget > 0 {
-		T = cfg.TBudget
+		tReq = cfg.TBudget
 	}
-	eta := mw.Eta(cfg.S, T, xsize)
-	// Oracle calls: T-fold strong composition inside an (ε/2, δ/2) slice.
-	eps0, delta0, err := mech.SplitBudget(cfg.Eps/2, cfg.Delta/2, T)
+	// The accountant owns the whole (ε, δ) interaction budget; the sparse
+	// vector's (ε/2, δ/2) slice (Theorem 3.9) is reserved through it and
+	// composed linearly with the oracle calls.
+	acct, err := mech.NewAccountant(cfg.Accountant, mech.Params{Eps: cfg.Eps, Delta: cfg.Delta}, cfg.AccountantParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := acct.Reserve(mech.Params{Eps: cfg.Eps / 2, Delta: cfg.Delta / 2}); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	// Per-oracle-call noise contract: the paper's Theorem-3.10 schedule at
+	// the requested horizon. This fixes each answer's noise level (hence
+	// per-answer accuracy) independent of the accounting in force.
+	eps0, delta0, err := mech.SplitBudget(cfg.Eps/2, cfg.Delta/2, tReq)
 	if err != nil {
 		return nil, err
 	}
+	// The update horizon is however many calls of the oracle's declared
+	// per-call cost the accountant certifies within the oracle slice:
+	// exactly tReq for "advanced" (the schedule inverts its own MaxCalls),
+	// strictly more under "zcdp" with Gaussian-noise oracles, and fewer
+	// when the accounting is loose for this regime. Extensions beyond the
+	// request are capped at the MW regret bound and the query cap K —
+	// updates past either can never be spent.
+	callCost := erm.CostOf(cfg.Oracle, eps0, delta0)
+	T, err := acct.MaxCalls(callCost)
+	if err != nil {
+		return nil, fmt.Errorf("core: accountant %q: %w", acct.Name(), err)
+	}
+	if T > tReq {
+		if T > tMW {
+			T = tMW
+		}
+		if T > cfg.K {
+			T = cfg.K
+		}
+		if T < tReq {
+			T = tReq
+		}
+	}
+	eta := mw.Eta(cfg.S, T, xsize)
 	p := Params{
 		T:           T,
 		Eta:         eta,
@@ -219,14 +285,16 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 	}
 	state.SetEngine(eng)
 	return &Server{
-		cfg:    cfg,
-		params: p,
-		data:   data,
-		hist:   data.Histogram(),
-		src:    src,
-		sv:     sv,
-		state:  state,
-		eng:    eng,
+		cfg:      cfg,
+		params:   p,
+		data:     data,
+		hist:     data.Histogram(),
+		src:      src,
+		sv:       sv,
+		state:    state,
+		eng:      eng,
+		acct:     acct,
+		callCost: callCost,
 	}, nil
 }
 
@@ -271,25 +339,21 @@ func (s *Server) SyntheticRows(src *sample.Source, m int) (*dataset.Dataset, err
 // Config.Trace).
 func (s *Server) Traces() []UpdateTrace { return s.traces }
 
-// Privacy returns the server's total (ε, δ) guarantee: the SV slice plus
-// the strong-composition bound over the oracle calls actually made.
-func (s *Server) Privacy() mech.Params {
-	p := s.sv.Privacy() // (ε/2, δ/2)
-	if s.orc.Count() > 0 {
-		// ≤ T calls at (ε₀, δ₀) compose to at most (ε/2, δ/2) by the
-		// budget-splitting schedule; report the bound for the calls made.
-		adv, err := s.orc.AdvancedTotal(s.cfg.Delta / 4)
-		if err == nil {
-			p.Eps += adv.Eps
-			p.Delta += adv.Delta
-		} else {
-			// Fall back to the schedule's worst case.
-			p.Eps += s.cfg.Eps / 2
-			p.Delta += s.cfg.Delta / 2
-		}
-	}
-	return p
-}
+// Privacy returns the server's total (ε, δ) guarantee under the session's
+// accountant: the reserved SV slice plus the composed bound over the
+// oracle calls actually made.
+func (s *Server) Privacy() mech.Params { return s.acct.Total() }
+
+// Remaining returns the unspent budget under the accountant's calculus,
+// clamped at zero componentwise.
+func (s *Server) Remaining() mech.Params { return s.acct.Remaining() }
+
+// AccountantName returns the accounting mode in force.
+func (s *Server) AccountantName() string { return s.acct.Name() }
+
+// CallCost returns the oracle's declared per-call cost — what one more ⊤
+// answer spends (Gaussian oracles certify a zCDP ρ alongside (ε₀, δ₀)).
+func (s *Server) CallCost() mech.Cost { return s.callCost }
 
 // publicMin solves argmin_θ ℓ(θ; D̂t) on the public hypothesis.
 func (s *Server) publicMin(l convex.Loss) ([]float64, error) {
@@ -359,7 +423,12 @@ func (s *Server) Answer(l convex.Loss) ([]float64, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: oracle %q failed: %w", s.cfg.Oracle.Name(), err)
 	}
-	s.orc.Spend(mech.Params{Eps: s.params.Eps0, Delta: s.params.Delta0})
+	if err := s.acct.Spend(s.callCost); err != nil {
+		// Unreachable for validated costs (callCost is fixed at New and
+		// checked there via MaxCalls); if it ever fires, fail loudly — the
+		// ledger and the released interaction have desynchronized.
+		return nil, fmt.Errorf("core: recording oracle spend: %w", err)
+	}
 	// Defensive post-processing: an oracle returning a point outside Θ
 	// would break the scale bound on the MW update vector (|u_t| ≤ S needs
 	// θt, θ̂t ∈ Θ). Projection is free — it is post-processing of an

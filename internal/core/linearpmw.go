@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 
@@ -37,6 +38,7 @@ type LinearPMW struct {
 	nsv   *sparse.NumericSV
 	state *mw.State
 	eng   *xeval.Engine
+	acct  mech.Accountant
 
 	answered int
 }
@@ -57,6 +59,14 @@ type LinearPMWConfig struct {
 	// Workers sets the xeval worker count (0 = all CPUs, negative
 	// rejected; see core.Config.Workers).
 	Workers int
+	// Accountant names the accounting strategy tracking the run's spends
+	// (see core.Config.Accountant). The HR10 mechanism is Laplace-based
+	// (pure-DP spends), so "zcdp" converts via ρ = ε²/2 and offers no
+	// advantage here; the NumericSV schedule fixes the released values for
+	// every accountant.
+	Accountant string
+	// AccountantParams optionally carries accountant-specific JSON params.
+	AccountantParams json.RawMessage
 }
 
 func (c LinearPMWConfig) validate() error {
@@ -112,6 +122,16 @@ func NewLinearPMW(cfg LinearPMWConfig, data *dataset.Dataset, src *sample.Source
 		return nil, err
 	}
 	state.SetEngine(eng)
+	// The threshold half of NumericSV does its own internal accounting
+	// ((ε/2, δ/2) slice, Theorem 3.1); the T numeric releases are recorded
+	// individually as pure-DP spends.
+	acct, err := mech.NewAccountant(cfg.Accountant, mech.Params{Eps: cfg.Eps, Delta: cfg.Delta}, cfg.AccountantParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if err := acct.Reserve(mech.Params{Eps: cfg.Eps / 2, Delta: cfg.Delta / 2}); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	return &LinearPMW{
 		cfg:   cfg,
 		data:  data,
@@ -119,6 +139,7 @@ func NewLinearPMW(cfg LinearPMWConfig, data *dataset.Dataset, src *sample.Source
 		nsv:   nsv,
 		state: state,
 		eng:   eng,
+		acct:  acct,
 	}, nil
 }
 
@@ -171,6 +192,9 @@ func (p *LinearPMW) Answer(q *convex.LinearQuery) (float64, error) {
 	if !top {
 		return hypAns, nil
 	}
+	if err := p.acct.Spend(mech.PureCost(p.nsv.ReleaseEps())); err != nil {
+		return 0, fmt.Errorf("core: recording release spend: %w", err)
+	}
 	noisy = vecmath.Clamp(noisy, 0, 1)
 	// MW update: penalty on q's support when the hypothesis over-answers.
 	uvec := qvec
@@ -185,6 +209,14 @@ func (p *LinearPMW) Answer(q *convex.LinearQuery) (float64, error) {
 
 // Halted reports whether the server has stopped.
 func (p *LinearPMW) Halted() bool { return p.nsv.Halted() }
+
+// Privacy returns the composed (ε, δ) bound of the interaction so far
+// under the run's accountant: the threshold slice plus the recorded
+// numeric releases.
+func (p *LinearPMW) Privacy() mech.Params { return p.acct.Total() }
+
+// AccountantName returns the accounting mode in force.
+func (p *LinearPMW) AccountantName() string { return p.acct.Name() }
 
 // Updates returns the number of MW updates performed.
 func (p *LinearPMW) Updates() int { return p.state.Updates() }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"repro/internal/convex"
@@ -37,6 +38,15 @@ type OfflineConfig struct {
 	// Workers sets the xeval worker count (0 = all CPUs, negative
 	// rejected; see core.Config.Workers).
 	Workers int
+	// Accountant names the accounting strategy used to track the run's
+	// spends (see core.Config.Accountant). The offline schedule itself is
+	// fixed — 2·Rounds mechanisms under the Theorem-3.10 split, so the
+	// (Eps, Delta) guarantee holds for every accountant — but the recorded
+	// composition (OfflineResult.Accounted) is tighter under "zcdp" when
+	// the oracle is Gaussian-based.
+	Accountant string
+	// AccountantParams optionally carries accountant-specific JSON params.
+	AccountantParams json.RawMessage
 }
 
 func (c OfflineConfig) validate() error {
@@ -69,6 +79,11 @@ type OfflineResult struct {
 	Hypothesis *histogram.Histogram
 	// Selected records which loss index was chosen in each round.
 	Selected []int
+	// Accountant is the accounting mode; Accounted the composed (ε, δ)
+	// bound of the recorded spends under it. The schedule guarantee
+	// (cfg.Eps, cfg.Delta) holds regardless.
+	Accountant string
+	Accounted  mech.Params
 }
 
 // AnswerOffline runs the offline PMW-for-CM algorithm on a known query set.
@@ -97,6 +112,15 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 	if err != nil {
 		return nil, err
 	}
+	// Every privacy spend goes through an Accountant: the schedule above
+	// fixes the per-call budgets, the accountant records what each
+	// mechanism actually certifies (exponential selections are pure-DP,
+	// Gaussian oracles declare ρ) and reports the composed total.
+	acct, err := mech.NewAccountant(cfg.Accountant, mech.Params{Eps: cfg.Eps, Delta: cfg.Delta}, cfg.AccountantParams)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	oracleCost := erm.CostOf(cfg.Oracle, eps0, delta0)
 
 	// validate() rejected negatives; xeval.New maps 0 to runtime.NumCPU().
 	eng := xeval.New(cfg.Workers)
@@ -135,11 +159,17 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 		if err != nil {
 			return nil, err
 		}
+		if err := acct.Spend(mech.PureCost(eps0)); err != nil {
+			return nil, err
+		}
 		selected = append(selected, idx)
 
 		l := losses[idx]
 		theta, err := cfg.Oracle.Answer(src, l, data, eps0, delta0)
 		if err != nil {
+			return nil, err
+		}
+		if err := acct.Spend(oracleCost); err != nil {
 			return nil, err
 		}
 		// Dual-certificate update, identical to the online path.
@@ -165,5 +195,11 @@ func AnswerOffline(cfg OfflineConfig, data *dataset.Dataset, src *sample.Source,
 		}
 		answers[i] = res.Theta
 	}
-	return &OfflineResult{Answers: answers, Hypothesis: final.Clone(), Selected: selected}, nil
+	return &OfflineResult{
+		Answers:    answers,
+		Hypothesis: final.Clone(),
+		Selected:   selected,
+		Accountant: acct.Name(),
+		Accounted:  acct.Total(),
+	}, nil
 }

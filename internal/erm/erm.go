@@ -45,6 +45,42 @@ type Oracle interface {
 	Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error)
 }
 
+// CostReporter is implemented by oracles that can declare the privacy cost
+// of one Answer invocation in the tightest calculus they certify —
+// Gaussian-noise oracles report their zCDP parameter ρ, Laplace- and
+// exponential-mechanism-based ones their pure-DP cost — so a
+// mech.Accountant can compose spends more tightly than the generic (ε, δ)
+// declaration allows. AnswerCost must be deterministic and data-independent
+// (it is consulted at planning time, before any data access); for Gaussian
+// oracles this holds because ρ = Δ²/(2σ²) cancels the sensitivity: σ is
+// calibrated proportionally to Δ, so ρ depends only on (ε, δ) and the
+// oracle's internal schedule.
+type CostReporter interface {
+	AnswerCost(eps, delta float64) mech.Cost
+}
+
+// CostOf returns o's declared cost of one Answer(…, eps, delta) call,
+// falling back to the generic (ε, δ)-DP declaration for oracles that do
+// not report.
+func CostOf(o Oracle, eps, delta float64) mech.Cost {
+	if r, ok := o.(CostReporter); ok {
+		return r.AnswerCost(eps, delta)
+	}
+	return mech.ApproxCost(eps, delta)
+}
+
+// noisyGDCost is the zCDP cost of iters Gaussian-noise gradient steps under
+// the (ε, δ) budget-splitting schedule: each step is calibrated at
+// (ε₀, δ₀) = SplitBudget(ε, δ, iters) and costs ρ = ε₀²/(4·ln(1.25/δ₀)).
+func noisyGDCost(iters int, eps, delta float64) mech.Cost {
+	eps0, delta0, err := mech.SplitBudget(eps, delta, iters)
+	if err != nil {
+		return mech.ApproxCost(eps, delta)
+	}
+	rho := float64(iters) * eps0 * eps0 / (4 * math.Log(1.25/delta0))
+	return mech.Cost{Eps: eps, Delta: delta, Rho: rho}
+}
+
 // gradSensitivity returns the L2 sensitivity of the average gradient under
 // row replacement: ‖(1/n)(∇ℓ(θ;x) − ∇ℓ(θ;x′))‖ ≤ 2L/n.
 func gradSensitivity(l convex.Loss, n int) float64 {
@@ -71,6 +107,15 @@ type NoisyGD struct {
 
 // Name implements Oracle.
 func (o NoisyGD) Name() string { return "noisygd" }
+
+// AnswerCost implements CostReporter: Iters Gaussian releases.
+func (o NoisyGD) AnswerCost(eps, delta float64) mech.Cost {
+	iters := o.Iters
+	if iters <= 0 {
+		iters = 64
+	}
+	return noisyGDCost(iters, eps, delta)
+}
 
 // Answer implements Oracle.
 func (o NoisyGD) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
@@ -138,6 +183,16 @@ type OutputPerturbation struct {
 // Name implements Oracle.
 func (o OutputPerturbation) Name() string { return "outputperturb" }
 
+// AnswerCost implements CostReporter: one Gaussian release at the full
+// (ε, δ), whose zCDP cost ρ = Δ²/(2σ²) = ε²/(4·ln(1.25/δ)) is
+// sensitivity-independent.
+func (o OutputPerturbation) AnswerCost(eps, delta float64) mech.Cost {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return mech.ApproxCost(eps, delta)
+	}
+	return mech.Cost{Eps: eps, Delta: delta, Rho: eps * eps / (4 * math.Log(1.25/delta))}
+}
+
 // Answer implements Oracle. It fails when the loss is not strongly convex.
 func (o OutputPerturbation) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
 	sc := l.StrongConvexity()
@@ -183,6 +238,12 @@ type NetExpMech struct {
 
 // Name implements Oracle.
 func (o NetExpMech) Name() string { return "netexp" }
+
+// AnswerCost implements CostReporter: one exponential-mechanism selection,
+// which is (ε, 0)-DP regardless of the δ it is offered.
+func (o NetExpMech) AnswerCost(eps, _ float64) mech.Cost {
+	return mech.PureCost(eps)
+}
 
 // Answer implements Oracle.
 func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {
@@ -268,6 +329,13 @@ type NonPrivate struct {
 
 // Name implements Oracle.
 func (o NonPrivate) Name() string { return "nonprivate" }
+
+// AnswerCost implements CostReporter with the *nominal* budget it is
+// offered: NonPrivate is not differentially private (it is the experiment
+// ceiling), so its ledger entries are bookkeeping, not a guarantee.
+func (o NonPrivate) AnswerCost(eps, delta float64) mech.Cost {
+	return mech.ApproxCost(eps, delta)
+}
 
 // Answer implements Oracle (ε and δ are ignored).
 func (o NonPrivate) Answer(_ *sample.Source, l convex.Loss, data *dataset.Dataset, _, _ float64) ([]float64, error) {

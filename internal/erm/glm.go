@@ -46,6 +46,16 @@ type GLMReduction struct {
 // Name implements Oracle.
 func (o GLMReduction) Name() string { return "glmreduce" }
 
+// AnswerCost implements CostReporter: Iters Gaussian releases in the
+// reduced space, calibrated exactly as NoisyGD's.
+func (o GLMReduction) AnswerCost(eps, delta float64) mech.Cost {
+	iters := o.Iters
+	if iters <= 0 {
+		iters = 64
+	}
+	return noisyGDCost(iters, eps, delta)
+}
+
 // Answer implements Oracle. The loss must implement convex.GLM and its
 // domain must be an L2 ball (the unconstrained-GLM setting of §4.2.2).
 func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, delta float64) ([]float64, error) {

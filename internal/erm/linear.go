@@ -20,6 +20,11 @@ type LaplaceLinear struct{}
 // Name implements Oracle.
 func (LaplaceLinear) Name() string { return "laplace-linear" }
 
+// AnswerCost implements CostReporter: one Laplace release, (ε, 0)-DP.
+func (LaplaceLinear) AnswerCost(eps, _ float64) mech.Cost {
+	return mech.PureCost(eps)
+}
+
 // Answer implements Oracle. delta is ignored (pure DP).
 func (LaplaceLinear) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset, eps, _ float64) ([]float64, error) {
 	lq, ok := l.(*convex.LinearQuery)

@@ -53,8 +53,8 @@ func ablationEta() Experiment {
 			}
 			for _, T := range budgets {
 				ccfg := core.Config{
-					Workers: cfg.Workers,
-					Eps:     1, Delta: 1e-6, Alpha: alpha, Beta: 0.05,
+					Workers: cfg.Workers, Accountant: cfg.Accountant,
+					Eps: 1, Delta: 1e-6, Alpha: alpha, Beta: 0.05,
 					K: k, S: 1, Oracle: erm.LaplaceLinear{}, TBudget: T,
 				}
 				ans, srv, err := runPMW(ccfg, data, src.Split(), losses)
@@ -260,8 +260,8 @@ func ablationOracle() Experiment {
 			}
 			for _, bias := range biases {
 				ccfg := core.Config{
-					Workers: cfg.Workers,
-					Eps:     1, Delta: 1e-6, Alpha: 0.05, Beta: 0.05,
+					Workers: cfg.Workers, Accountant: cfg.Accountant,
+					Eps: 1, Delta: 1e-6, Alpha: 0.05, Beta: 0.05,
 					K: k, S: s, Oracle: biasedOracle{bias: bias}, TBudget: 14,
 				}
 				ans, srv, err := runPMW(ccfg, data, src.Split(), losses)

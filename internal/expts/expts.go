@@ -23,6 +23,12 @@ type RunConfig struct {
 	// (0 = all CPUs). Results are worker-count independent; experiments
 	// stay reproducible for a given seed regardless of parallelism.
 	Workers int
+	// Accountant names the privacy-accounting strategy every core.Server
+	// the experiments build composes spends under ("" = "advanced", the
+	// paper's DRV10 accounting — see internal/mech's registry). Unlike
+	// Workers this changes derived horizons: "zcdp" sessions sustain more
+	// MW updates at the same budget when oracles are Gaussian-based.
+	Accountant string
 }
 
 // Experiment is one reproducible experiment.

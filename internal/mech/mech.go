@@ -167,44 +167,7 @@ func SplitBudget(eps, delta float64, T int) (eps0, delta0 float64, err error) {
 	return eps / math.Sqrt(8*tf*math.Log(2/delta)), delta / (2 * tf), nil
 }
 
-// Accountant tracks a sequence of spent privacy budgets and reports the
-// total cost under either composition rule. Not safe for concurrent use.
-type Accountant struct {
-	spends []Params
-}
-
-// Spend records one mechanism invocation.
-func (a *Accountant) Spend(p Params) { a.spends = append(a.spends, p) }
-
-// Count returns the number of recorded invocations.
-func (a *Accountant) Count() int { return len(a.spends) }
-
-// BasicTotal returns the summed (ε, δ) under basic composition. This is
-// valid for heterogeneous per-mechanism parameters.
-func (a *Accountant) BasicTotal() Params {
-	var p Params
-	for _, s := range a.spends {
-		p.Eps += s.Eps
-		p.Delta += s.Delta
-	}
-	return p
-}
-
-// AdvancedTotal returns the strong-composition total using the worst
-// per-mechanism parameters (Theorem 3.10 is stated for homogeneous
-// compositions; heterogeneous spends are bounded by their max).
-func (a *Accountant) AdvancedTotal(deltaPrime float64) (Params, error) {
-	if len(a.spends) == 0 {
-		return Params{}, nil
-	}
-	var maxEps, maxDelta float64
-	for _, s := range a.spends {
-		if s.Eps > maxEps {
-			maxEps = s.Eps
-		}
-		if s.Delta > maxDelta {
-			maxDelta = s.Delta
-		}
-	}
-	return AdvancedComposition(maxEps, maxDelta, len(a.spends), deltaPrime)
-}
+// The sequence-of-spends ledger that used to live here (a struct appending
+// every Params to a slice) has been replaced by the pluggable Accountant
+// interface in accountant.go: streaming O(1) implementations of basic,
+// DRV10-advanced, and zCDP composition behind a named registry.

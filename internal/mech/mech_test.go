@@ -243,31 +243,35 @@ func TestSplitBudgetValidation(t *testing.T) {
 	}
 }
 
-func TestAccountant(t *testing.T) {
-	var a Accountant
-	if got := a.BasicTotal(); got.Eps != 0 || got.Delta != 0 {
-		t.Errorf("empty total = %+v", got)
-	}
-	if p, err := a.AdvancedTotal(1e-6); err != nil || p.Eps != 0 {
-		t.Errorf("empty advanced total = %+v, %v", p, err)
-	}
-	for i := 0; i < 5; i++ {
-		a.Spend(Params{Eps: 0.1, Delta: 1e-7})
-	}
-	if a.Count() != 5 {
-		t.Errorf("Count = %d", a.Count())
-	}
-	basic := a.BasicTotal()
-	if math.Abs(basic.Eps-0.5) > 1e-12 {
-		t.Errorf("basic eps = %v", basic.Eps)
-	}
-	adv, err := a.AdvancedTotal(1e-6)
+func TestAccountantTotals(t *testing.T) {
+	budget := Params{Eps: 1, Delta: 1e-6}
+	basic, err := NewAccountant("basic", budget, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, _ := AdvancedComposition(0.1, 1e-7, 5, 1e-6)
-	if math.Abs(adv.Eps-want.Eps) > 1e-12 {
-		t.Errorf("advanced = %v, want %v", adv.Eps, want.Eps)
+	adv, err := NewAccountant("advanced", budget, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []Accountant{basic, adv} {
+		if got := a.Total(); got.Eps != 0 || got.Delta != 0 {
+			t.Errorf("%s: empty total = %+v", a.Name(), got)
+		}
+		for i := 0; i < 5; i++ {
+			if err := a.Spend(ApproxCost(0.1, 1e-7)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if a.Count() != 5 {
+			t.Errorf("%s: Count = %d", a.Name(), a.Count())
+		}
+	}
+	if got := basic.Total(); math.Abs(got.Eps-0.5) > 1e-12 {
+		t.Errorf("basic eps = %v", got.Eps)
+	}
+	want, _ := AdvancedComposition(0.1, 1e-7, 5, budget.Delta/4)
+	if got := adv.Total(); math.Abs(got.Eps-want.Eps) > 1e-12 {
+		t.Errorf("advanced = %v, want %v", got.Eps, want.Eps)
 	}
 }
 

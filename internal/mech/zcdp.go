@@ -3,6 +3,7 @@ package mech
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Zero-concentrated differential privacy (zCDP, Bun–Steinke 2016) gives a
@@ -39,9 +40,10 @@ func RhoToDP(rho, delta float64) (Params, error) {
 	return Params{Eps: rho + 2*math.Sqrt(rho*math.Log(1/delta)), Delta: delta}, nil
 }
 
-// ZCDPAccountant tracks a composition of zCDP mechanisms. Not safe for
-// concurrent use.
+// ZCDPAccountant tracks a composition of zCDP mechanisms. Safe for
+// concurrent use: long-lived sessions spend while status reads total.
 type ZCDPAccountant struct {
+	mu  sync.Mutex
 	rho float64
 	n   int
 }
@@ -52,8 +54,10 @@ func (a *ZCDPAccountant) SpendGaussian(sensitivity, sigma float64) error {
 	if err != nil {
 		return err
 	}
+	a.mu.Lock()
 	a.rho += rho
 	a.n++
+	a.mu.Unlock()
 	return nil
 }
 
@@ -62,18 +66,28 @@ func (a *ZCDPAccountant) SpendRho(rho float64) error {
 	if rho < 0 {
 		return fmt.Errorf("mech: negative rho %v", rho)
 	}
+	a.mu.Lock()
 	a.rho += rho
 	a.n++
+	a.mu.Unlock()
 	return nil
 }
 
 // Rho returns the accumulated zCDP parameter.
-func (a *ZCDPAccountant) Rho() float64 { return a.rho }
+func (a *ZCDPAccountant) Rho() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rho
+}
 
 // Count returns the number of recorded mechanisms.
-func (a *ZCDPAccountant) Count() int { return a.n }
+func (a *ZCDPAccountant) Count() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.n
+}
 
 // Total converts the accumulated ρ into an (ε, δ)-DP guarantee.
 func (a *ZCDPAccountant) Total(delta float64) (Params, error) {
-	return RhoToDP(a.rho, delta)
+	return RhoToDP(a.Rho(), delta)
 }

@@ -9,12 +9,14 @@ import (
 
 	"repro/internal/convex"
 	"repro/internal/core"
+	"repro/internal/mech"
 )
 
 // httpapi.go is the HTTP/JSON front end over a Manager. The API surface:
 //
 //	GET    /healthz                      — liveness + open-session count
 //	GET    /v1/losses                    — registered loss kinds
+//	GET    /v1/accountants               — registered privacy accountants
 //	GET    /v1/defaults                  — merged default session parameters
 //	POST   /v1/sessions                  — create a session (body: SessionParams, all fields optional)
 //	GET    /v1/sessions                  — list session statuses
@@ -42,6 +44,13 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /v1/losses", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"kinds": convex.Kinds()})
+	})
+
+	mux.HandleFunc("GET /v1/accountants", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"accountants": mech.AccountantNames(),
+			"default":     mech.DefaultAccountant,
+		})
 	})
 
 	mux.HandleFunc("GET /v1/defaults", func(w http.ResponseWriter, r *http.Request) {
@@ -165,9 +174,10 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, core.ErrInvalidWorkers):
-		// Malformed session request (e.g. "workers": -1): a client error,
-		// listed explicitly so the mapping is load-bearing, not accidental.
+	case errors.Is(err, core.ErrInvalidWorkers), errors.Is(err, mech.ErrUnknownAccountant):
+		// Malformed session request (e.g. "workers": -1 or an unregistered
+		// accountant name): a client error, listed explicitly so the
+		// mapping is load-bearing, not accidental.
 		return http.StatusBadRequest
 	default:
 		return http.StatusBadRequest

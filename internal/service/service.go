@@ -21,9 +21,16 @@
 // session rejects further queries with ErrBudgetExhausted. Closing a
 // session or shutting the manager down is permanent; closed sessions keep
 // serving status and transcript reads so audits survive the session.
+//
+// How spends compose is per-session: SessionParams.Accountant names a
+// strategy from the internal/mech registry ("advanced" DRV10 by default;
+// "zcdp" composes Gaussian-noise oracle calls in ρ and sustains a larger
+// update horizon from the same budget). Status reports the mode, the
+// composed spend so far, and the remaining budget.
 package service
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sort"
@@ -33,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/erm"
+	"repro/internal/mech"
 	"repro/internal/sample"
 	"repro/internal/universe"
 	"repro/internal/xeval"
@@ -78,6 +86,16 @@ type SessionParams struct {
 	// privacy dial: xeval results are bit-identical for every worker
 	// count.
 	Workers int `json:"workers,omitempty"`
+	// Accountant names the session's privacy-accounting strategy from the
+	// internal/mech registry ("basic", "advanced", "zcdp"; empty = the
+	// manager's default, itself defaulting to "advanced"). Unlike Workers
+	// this is a semantic dial: "zcdp" composes Gaussian-noise oracle calls
+	// more tightly and sustains a larger update horizon at the same
+	// (ε, δ, α). Unknown names are rejected with HTTP 400.
+	Accountant string `json:"accountant,omitempty"`
+	// AccountantParams optionally carries accountant-specific JSON
+	// parameters (e.g. {"delta_prime": …} for "advanced").
+	AccountantParams json.RawMessage `json:"accountant_params,omitempty"`
 }
 
 // merged fills zero fields from defaults.
@@ -106,6 +124,15 @@ func (p SessionParams) merged(def SessionParams) SessionParams {
 	if p.Workers == 0 {
 		p.Workers = def.Workers
 	}
+	if p.Accountant == "" {
+		p.Accountant = def.Accountant
+		// Default accountant params belong to the default accountant; a
+		// session naming its own accountant must not inherit another
+		// strategy's parameters.
+		if len(p.AccountantParams) == 0 {
+			p.AccountantParams = def.AccountantParams
+		}
+	}
 	return p
 }
 
@@ -123,12 +150,14 @@ type Limits struct {
 
 // DefaultSessionParams is the fallback configuration applied to fields the
 // caller leaves zero: a (1, 1e-6) budget, α = 0.05, K = 100 queries over a
-// 12-update horizon with the S = 2 scale the unit-ball GLM losses certify.
+// 12-update horizon with the S = 2 scale the unit-ball GLM losses certify,
+// composed under the paper's "advanced" (DRV10) accountant.
 func DefaultSessionParams() SessionParams {
 	return SessionParams{
 		Eps: 1, Delta: 1e-6,
 		Alpha: 0.05, Beta: 0.05,
 		K: 100, TBudget: 12, S: 2,
+		Accountant: mech.DefaultAccountant,
 	}
 }
 
@@ -226,9 +255,11 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		Eps: p.Eps, Delta: p.Delta,
 		Alpha: p.Alpha, Beta: p.Beta,
 		K: p.K, S: p.S,
-		Oracle:  m.cfg.Oracle,
-		TBudget: p.TBudget,
-		Workers: p.Workers,
+		Oracle:           m.cfg.Oracle,
+		TBudget:          p.TBudget,
+		Workers:          p.Workers,
+		Accountant:       p.Accountant,
+		AccountantParams: p.AccountantParams,
 	}, m.cfg.Data, src)
 	if err != nil {
 		m.mu.Lock()

@@ -63,9 +63,15 @@ type QueryResult struct {
 	// call was spent and the hypothesis updated), false means ⊥ (answered
 	// from the public hypothesis, no marginal budget).
 	Top bool `json:"top"`
-	// EpsSpent, DeltaSpent are this query's incremental oracle spend.
+	// EpsSpent, DeltaSpent are this query's incremental oracle spend;
+	// RhoSpent its zCDP cost when the oracle certifies one.
 	EpsSpent   float64 `json:"eps_spent"`
 	DeltaSpent float64 `json:"delta_spent"`
+	RhoSpent   float64 `json:"rho_spent,omitempty"`
+	// EpsRemaining, DeltaRemaining are the unspent budget after this query
+	// under the session's accountant.
+	EpsRemaining   float64 `json:"eps_remaining"`
+	DeltaRemaining float64 `json:"delta_remaining"`
 	// QueriesUsed / QueriesMax and UpdatesUsed / UpdatesMax are the ledger
 	// counters after this query.
 	QueriesUsed int `json:"queries_used"`
@@ -99,16 +105,20 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 	}
 	srv := s.rec.Srv
 	ev := s.rec.T.Events[len(s.rec.T.Events)-1]
+	rem := srv.Remaining()
 	return &QueryResult{
-		Loss:        l.Name(),
-		Answer:      theta,
-		Top:         ev.Top,
-		EpsSpent:    ev.EpsSpent,
-		DeltaSpent:  ev.DeltaSpent,
-		QueriesUsed: srv.Answered(),
-		QueriesMax:  s.params.K,
-		UpdatesUsed: srv.Updates(),
-		UpdatesMax:  srv.Params().T,
+		Loss:           l.Name(),
+		Answer:         theta,
+		Top:            ev.Top,
+		EpsSpent:       ev.EpsSpent,
+		DeltaSpent:     ev.DeltaSpent,
+		RhoSpent:       ev.RhoSpent,
+		EpsRemaining:   rem.Eps,
+		DeltaRemaining: rem.Delta,
+		QueriesUsed:    srv.Answered(),
+		QueriesMax:     s.params.K,
+		UpdatesUsed:    srv.Updates(),
+		UpdatesMax:     srv.Params().T,
 	}, nil
 }
 
@@ -126,18 +136,26 @@ type SessionStatus struct {
 	UpdatesUsed int `json:"updates_used"`
 	UpdatesMax  int `json:"updates_max"`
 
+	// Accountant is the accounting mode composing the session's spends.
+	Accountant string `json:"accountant"`
+
 	// EpsBudget, DeltaBudget is the session's total budget; EpsSpent,
 	// DeltaSpent the mechanism's current privacy bound for the interaction
-	// so far (the up-front sparse-vector slice plus composed oracle calls).
-	EpsBudget   float64 `json:"eps_budget"`
-	DeltaBudget float64 `json:"delta_budget"`
-	EpsSpent    float64 `json:"eps_spent"`
-	DeltaSpent  float64 `json:"delta_spent"`
+	// so far (the up-front sparse-vector slice plus composed oracle calls);
+	// EpsRemaining, DeltaRemaining the unspent difference, clamped at zero.
+	EpsBudget      float64 `json:"eps_budget"`
+	DeltaBudget    float64 `json:"delta_budget"`
+	EpsSpent       float64 `json:"eps_spent"`
+	DeltaSpent     float64 `json:"delta_spent"`
+	EpsRemaining   float64 `json:"eps_remaining"`
+	DeltaRemaining float64 `json:"delta_remaining"`
 
 	// Eps0, Delta0 is the per-oracle-call budget of the composition
-	// schedule — what one more ⊤ answer would cost.
+	// schedule — what one more ⊤ answer would cost; Rho0 the per-call zCDP
+	// cost when the oracle certifies one.
 	Eps0   float64 `json:"eps0"`
 	Delta0 float64 `json:"delta0"`
+	Rho0   float64 `json:"rho0,omitempty"`
 }
 
 // Status returns the session's current ledger snapshot.
@@ -147,21 +165,26 @@ func (s *Session) Status() SessionStatus {
 	srv := s.rec.Srv
 	p := srv.Params()
 	priv := srv.Privacy()
+	rem := srv.Remaining()
 	return SessionStatus{
-		ID:          s.id,
-		Created:     s.created,
-		Closed:      s.closed,
-		Exhausted:   srv.Halted(),
-		QueriesUsed: srv.Answered(),
-		QueriesMax:  s.params.K,
-		UpdatesUsed: srv.Updates(),
-		UpdatesMax:  p.T,
-		EpsBudget:   s.params.Eps,
-		DeltaBudget: s.params.Delta,
-		EpsSpent:    priv.Eps,
-		DeltaSpent:  priv.Delta,
-		Eps0:        p.Eps0,
-		Delta0:      p.Delta0,
+		ID:             s.id,
+		Created:        s.created,
+		Closed:         s.closed,
+		Exhausted:      srv.Halted(),
+		QueriesUsed:    srv.Answered(),
+		QueriesMax:     s.params.K,
+		UpdatesUsed:    srv.Updates(),
+		UpdatesMax:     p.T,
+		Accountant:     srv.AccountantName(),
+		EpsBudget:      s.params.Eps,
+		DeltaBudget:    s.params.Delta,
+		EpsSpent:       priv.Eps,
+		DeltaSpent:     priv.Delta,
+		EpsRemaining:   rem.Eps,
+		DeltaRemaining: rem.Delta,
+		Eps0:           p.Eps0,
+		Delta0:         p.Delta0,
+		Rho0:           srv.CallCost().Rho,
 	}
 }
 

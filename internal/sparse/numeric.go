@@ -65,6 +65,11 @@ func (n *NumericSV) Query(value, release float64) (top bool, noisy float64, err 
 	return true, noisy, nil
 }
 
+// ReleaseEps returns the per-release Laplace budget ε₀ — each ⊤ answer's
+// numeric release is (ε₀, 0)-DP, which budget ledgers record as a pure-DP
+// spend.
+func (n *NumericSV) ReleaseEps() float64 { return n.epsValue }
+
 // Halted reports whether the underlying SV has stopped.
 func (n *NumericSV) Halted() bool { return n.sv.Halted() }
 

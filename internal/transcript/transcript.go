@@ -36,10 +36,21 @@ type Event struct {
 	// front, not per query).
 	EpsSpent   float64 `json:"eps_spent"`
 	DeltaSpent float64 `json:"delta_spent"`
+	// RhoSpent is the event's zCDP cost when the oracle certifies one
+	// (Gaussian-noise oracles); zero otherwise.
+	RhoSpent float64 `json:"rho_spent,omitempty"`
+	// CumEps and CumDelta are the mechanism's composed privacy bound after
+	// this event under the session's accountant — the audit trail of
+	// cumulative spend, not a per-event increment.
+	CumEps   float64 `json:"cum_eps"`
+	CumDelta float64 `json:"cum_delta"`
 }
 
 // Transcript is a complete recorded interaction.
 type Transcript struct {
+	// Accountant records the accounting mode the run composed spends
+	// under ("basic", "advanced", "zcdp").
+	Accountant string `json:"accountant,omitempty"`
 	// Meta carries run-level parameters (ε, δ, α, K, …).
 	Meta map[string]float64 `json:"meta"`
 	// Events are the exchanges in order.
@@ -112,17 +123,16 @@ type Recorder struct {
 // server's derived parameters.
 func NewRecorder(srv *core.Server) *Recorder {
 	p := srv.Params()
-	return &Recorder{
-		Srv: srv,
-		T: New(map[string]float64{
-			"T":           float64(p.T),
-			"eta":         p.Eta,
-			"eps0":        p.Eps0,
-			"delta0":      p.Delta0,
-			"alpha0":      p.Alpha0,
-			"sensitivity": p.Sensitivity,
-		}),
-	}
+	t := New(map[string]float64{
+		"T":           float64(p.T),
+		"eta":         p.Eta,
+		"eps0":        p.Eps0,
+		"delta0":      p.Delta0,
+		"alpha0":      p.Alpha0,
+		"sensitivity": p.Sensitivity,
+	})
+	t.Accountant = srv.AccountantName()
+	return &Recorder{Srv: srv, T: t}
 }
 
 // Answer forwards to the server and records the exchange. A halt is
@@ -139,10 +149,13 @@ func (r *Recorder) Answer(l convex.Loss) ([]float64, error) {
 	top := r.Srv.Updates() > before
 	ev := Event{Query: l.Name(), Answer: append([]float64(nil), theta...), Top: top}
 	if top {
-		p := r.Srv.Params()
-		ev.EpsSpent = p.Eps0
-		ev.DeltaSpent = p.Delta0
+		cost := r.Srv.CallCost()
+		ev.EpsSpent = cost.Eps
+		ev.DeltaSpent = cost.Delta
+		ev.RhoSpent = cost.Rho
 	}
+	priv := r.Srv.Privacy()
+	ev.CumEps, ev.CumDelta = priv.Eps, priv.Delta
 	r.T.Append(ev)
 	return theta, nil
 }

@@ -11,6 +11,12 @@
 # benchmark result lines live in the "Output" fields of events whose
 # Action is "output". Compare runs with e.g.
 #   jq -r 'select(.Action=="output") | .Output' BENCH_2026-07-27.json | grep Benchmark
+#
+# The sweep covers the xeval/mw/convex kernels AND the privacy-accounting
+# micro-benchmarks (BenchmarkAccountant* in internal/mech): per-spend
+# overhead and Total() latency per accountant, which sit on the serving hot
+# path (one Spend per ⊤ answer, one Total per status read). Restrict with
+#   BENCH=Accountant scripts/bench.sh
 set -eu
 
 cd "$(dirname "$0")/.."
