@@ -9,11 +9,14 @@
 //	pmwcm run -quick -seed 7 all
 //	pmwcm run -csv T1.LIN      # emit CSV instead of an aligned table
 //	pmwcm serve -addr :8787    # serve the interactive query API
+//	pmwcm serve -state-dir st  # …with durable sessions across restarts
 //
 // Each experiment prints a table plus the paper's predicted shape. The
 // serve subcommand hosts the session-based HTTP/JSON query API of
-// internal/service; see DESIGN.md for the package inventory and README.md
-// for a worked curl session.
+// internal/service; with -state-dir every session checkpoints its budget
+// state through internal/persist and survives restarts. See DESIGN.md for
+// the package inventory and README.md for a worked curl session and the
+// serve operations guide.
 package main
 
 import (
@@ -71,7 +74,8 @@ func usage() {
               [-eps E] [-delta D] [-alpha A] [-queries K] [-rows N] [-seed S]
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
-              [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]`)
+              [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]
+              [-state-dir DIR]`)
 }
 
 func runCmd(args []string) error {

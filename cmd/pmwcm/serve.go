@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/dataset"
 	"repro/internal/mech"
+	"repro/internal/persist"
 	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/universe"
@@ -57,6 +58,7 @@ func serveCmd(args []string) error {
 	maxSessions := fs.Int("maxsessions", 64, "maximum concurrently open sessions")
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
+	stateDir := fs.String("state-dir", "", "session state directory: sessions checkpoint on every budget spend and on shutdown, and are restored on startup (empty = memory only; budget state dies with the process)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,6 +95,16 @@ func serveCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	// -state-dir makes sessions durable: with the same flags (dataset,
+	// seed, oracle) a restarted server restores every session and continues
+	// it bit-identically; recovery refuses a state directory whose manifest
+	// fingerprints a different dataset.
+	var store *persist.Store
+	if *stateDir != "" {
+		if store, err = persist.Open(*stateDir); err != nil {
+			return err
+		}
+	}
 	mgr, err := service.New(service.Config{
 		Data:   data,
 		Source: src.Split(),
@@ -105,9 +117,14 @@ func serveCmd(args []string) error {
 			Accountant: *accountant,
 		},
 		Limits: service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
+		Store:  store,
 	})
 	if err != nil {
 		return err
+	}
+	if store != nil {
+		fmt.Fprintf(os.Stderr, "pmwcm serve: state dir %s, restored %d live session(s)\n",
+			store.Dir(), mgr.OpenSessions())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -119,7 +136,8 @@ func serveCmd(args []string) error {
 		ln.Addr(), data.N(), g.String(), oracle.Name(), mgr.Defaults().Accountant, *workers, *eps, *delta, *alpha, *k)
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
-	// close every session so their final state is consistent.
+	// suspend every session — with -state-dir each live session is
+	// checkpointed for the next start to resume.
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.Serve(ln) }()
 	sigCh := make(chan os.Signal, 1)

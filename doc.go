@@ -5,7 +5,19 @@
 //
 // The root package holds the benchmark harness (bench_test.go), one
 // benchmark per paper table/figure; the implementation lives under
-// internal/ (see DESIGN.md for the system inventory). The pmwcm command
-// runs the batch experiments and serves the interactive query API
-// (internal/service); README.md has the quickstart for both.
+// internal/ (see DESIGN.md for the system inventory). Beyond the batch
+// reproduction, the repo has grown the operational layers a long-running
+// deployment needs: internal/service hosts the paper's interactive
+// protocol as a concurrent session server (`pmwcm serve`, HTTP/JSON),
+// internal/mech's pluggable accountants select the composition calculus
+// per session ("basic", "advanced" DRV10, "zcdp"), internal/xeval runs
+// every universe-sized computation chunk-parallel with bit-identical
+// results for any worker count, and internal/persist gives sessions
+// durable snapshot/restore state (`pmwcm serve -state-dir`) — a restored
+// session continues bit-identically to an uninterrupted one.
+//
+// The pmwcm command runs the batch experiments (`run`, `list`), releases
+// synthetic data (`synth`), and serves the interactive query API
+// (`serve`); README.md has the quickstart for each and the serve
+// operations guide.
 package repro

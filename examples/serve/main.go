@@ -1,13 +1,20 @@
 // Serve example: drive the interactive query-serving subsystem end-to-end
 // over HTTP.
 //
-// The program starts the service in-process on an ephemeral port — exactly
-// what `pmwcm serve` runs — then acts as the analyst of the paper's
-// accuracy game (Figure 1) using nothing but HTTP/JSON: it creates a
-// session with a small query budget, submits counting and
-// convex-minimization queries named from the loss registry, watches the
-// budget ledger move as the sparse vector answers ⊥/⊤, prints the audit
-// transcript, and finally runs into the budget-exhaustion rejection.
+// Part 1 starts the service in-process on an ephemeral port — exactly what
+// `pmwcm serve` runs — then acts as the analyst of the paper's accuracy
+// game (Figure 1) using nothing but HTTP/JSON: it creates a session with a
+// small query budget, submits counting and convex-minimization queries
+// named from the loss registry, watches the budget ledger move as the
+// sparse vector answers ⊥/⊤, prints the audit transcript, and finally runs
+// into the budget-exhaustion rejection.
+//
+// Part 2 demonstrates durable sessions (`pmwcm serve -state-dir`):
+// snapshot → kill → restart → continue. A session answers half its query
+// stream against a durable server, the server is killed and a fresh one is
+// started over the same state directory, the restored session answers the
+// remaining half — and the program asserts every continued answer is
+// bit-identical to an uninterrupted reference run.
 package main
 
 import (
@@ -17,14 +24,22 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/persist"
 	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/universe"
 )
 
 func main() {
+	interactiveDemo()
+	durableDemo()
+}
+
+func interactiveDemo() {
+	fmt.Println("=== Part 1: the interactive protocol over HTTP ===")
 	// --- Server side: the operator's half, normally `pmwcm serve`. ---
 	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
 	if err != nil {
@@ -131,6 +146,143 @@ func main() {
 	}
 	resp.Body.Close()
 	fmt.Printf("after close, query → HTTP %d\n", resp.StatusCode)
+}
+
+// world is one deterministic server stack. Rebuilding it with the same
+// seed — as an operator restarting `pmwcm serve` with the same flags does
+// — reproduces the identical private dataset and session-source.
+func newWorld(seed int64, dir string) (*service.Manager, *http.Server, string) {
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src := sample.New(seed)
+	pop, err := dataset.Skewed(g, 1.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	data := dataset.SampleFrom(src.Split(), pop, 200000)
+	cfg := service.Config{
+		Data:   data,
+		Source: src.Split(),
+		Defaults: service.SessionParams{
+			Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 12, TBudget: 6,
+		},
+	}
+	if dir != "" {
+		store, err := persist.Open(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Store = store
+	}
+	mgr, err := service.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: service.NewHandler(mgr)}
+	go httpSrv.Serve(ln)
+	return mgr, httpSrv, "http://" + ln.Addr().String()
+}
+
+// queryResult is the part of an answer the demo compares bitwise.
+type queryResult struct {
+	Loss         string    `json:"loss"`
+	Answer       []float64 `json:"answer"`
+	Top          bool      `json:"top"`
+	EpsRemaining float64   `json:"eps_remaining"`
+	UpdatesUsed  int       `json:"updates_used"`
+}
+
+func durableDemo() {
+	fmt.Println("\n=== Part 2: durable sessions — snapshot → kill → restart → continue ===")
+	stream := []map[string]any{
+		{"kind": "positive", "params": map[string]any{"coord": 0}},
+		{"kind": "squared"},
+		{"kind": "logistic", "params": map[string]any{"temp": 0.5}},
+		{"kind": "positive", "params": map[string]any{"coord": 1}},
+		{"kind": "squared"},
+		{"kind": "halfspace", "params": map[string]any{"w": []float64{1, 1, 0}, "threshold": 0}},
+		{"kind": "logistic", "params": map[string]any{"temp": 0.5}},
+		{"kind": "marginal", "params": map[string]any{"coords": []int{0, 1}}},
+	}
+	const cut = 4
+
+	// Reference: the same world, never interrupted.
+	refMgr, refSrv, refBase := newWorld(42, "")
+	defer refMgr.Shutdown()
+	defer refSrv.Close()
+	var refSess struct {
+		ID string `json:"id"`
+	}
+	post(refBase+"/v1/sessions", map[string]any{}, &refSess)
+	refAnswers := make([]queryResult, len(stream))
+	for i, q := range stream {
+		post(refBase+"/v1/sessions/"+refSess.ID+"/query", q, &refAnswers[i])
+	}
+
+	// Durable world: same seed, with a state directory.
+	dir, err := os.MkdirTemp("", "pmwcm-state-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	mgr1, srv1, base1 := newWorld(42, dir)
+	var sess struct {
+		ID string `json:"id"`
+	}
+	post(base1+"/v1/sessions", map[string]any{}, &sess)
+	fmt.Printf("durable session %s in %s\n", sess.ID, dir)
+	for i := 0; i < cut; i++ {
+		var res queryResult
+		post(base1+"/v1/sessions/"+sess.ID+"/query", stream[i], &res)
+		assertSame(i, refAnswers[i], res)
+	}
+	// Force a snapshot (⊤ answers already checkpointed themselves; this
+	// also captures the ⊥-answer tail), then kill the server.
+	var snap struct {
+		Saved bool `json:"saved"`
+	}
+	post(base1+"/v1/sessions/"+sess.ID+"/snapshot", nil, &snap)
+	srv1.Close()
+	mgr1.Shutdown()
+	fmt.Printf("answered %d/%d queries, snapshot saved=%v, server killed\n", cut, len(stream), snap.Saved)
+
+	// Restart: a fresh manager and HTTP server over the same state
+	// directory recover the session; the analyst continues where it left
+	// off, against a new base URL.
+	mgr2, srv2, base2 := newWorld(42, dir)
+	defer mgr2.Shutdown()
+	defer srv2.Close()
+	fmt.Printf("restarted: %d live session(s) recovered\n", mgr2.OpenSessions())
+	for i := cut; i < len(stream); i++ {
+		var res queryResult
+		post(base2+"/v1/sessions/"+sess.ID+"/query", stream[i], &res)
+		assertSame(i, refAnswers[i], res)
+		fmt.Printf("query %d after restart: %-34s top=%-5v answer=%.3v  ✓ matches uninterrupted run\n",
+			i+1, res.Loss, res.Top, res.Answer)
+	}
+	fmt.Printf("all %d post-restart answers bit-identical to the uninterrupted run\n", len(stream)-cut)
+}
+
+// assertSame fails the demo if a continued answer deviates by a single bit
+// from the uninterrupted run's.
+func assertSame(i int, want, got queryResult) {
+	ok := want.Loss == got.Loss && want.Top == got.Top &&
+		want.EpsRemaining == got.EpsRemaining && want.UpdatesUsed == got.UpdatesUsed &&
+		len(want.Answer) == len(got.Answer)
+	if ok {
+		for j := range want.Answer {
+			ok = ok && want.Answer[j] == got.Answer[j]
+		}
+	}
+	if !ok {
+		log.Fatalf("query %d diverged from the uninterrupted run:\nwant %+v\ngot  %+v", i+1, want, got)
+	}
 }
 
 // post sends a JSON body and decodes the JSON response, failing on non-2xx.

@@ -266,14 +266,7 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 		Beta0:       cfg.Beta / (2 * float64(T)),
 		Sensitivity: 3 * cfg.S / float64(data.N()),
 	}
-	sv, err := sparse.New(sparse.Config{
-		T:           T,
-		K:           cfg.K,
-		Alpha:       cfg.Alpha,
-		Eps:         cfg.Eps / 2,
-		Delta:       cfg.Delta / 2,
-		Sensitivity: p.Sensitivity,
-	}, src.Split())
+	sv, err := sparse.New(svConfig(cfg, p), src.Split())
 	if err != nil {
 		return nil, err
 	}
@@ -296,6 +289,21 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 		acct:     acct,
 		callCost: callCost,
 	}, nil
+}
+
+// svConfig is the sparse-vector configuration Figure 3 derives from the
+// server configuration: the (ε/2, δ/2) slice over the certified horizon.
+// Restore re-derives it through the same function, so a restored SV runs
+// under exactly the parameters the original did.
+func svConfig(cfg Config, p Params) sparse.Config {
+	return sparse.Config{
+		T:           p.T,
+		K:           cfg.K,
+		Alpha:       cfg.Alpha,
+		Eps:         cfg.Eps / 2,
+		Delta:       cfg.Delta / 2,
+		Sensitivity: p.Sensitivity,
+	}
 }
 
 // Engine returns the server's universe-expectation engine.

@@ -112,6 +112,65 @@ type Accountant interface {
 	Total() Params
 	// Remaining returns Budget − Total, clamped at zero componentwise.
 	Remaining() Params
+	// Export snapshots the ledger for persistence. The streaming state is
+	// O(1), so so is the snapshot.
+	Export() AccountantState
+	// Restore overwrites the ledger with a previously exported snapshot.
+	// It fails if the snapshot names a different accountant or carries
+	// invalid state; the budget is not part of the snapshot (it is fixed at
+	// construction, so restore onto an accountant built from the same
+	// configuration). After a successful Restore, Total/Remaining/MaxCalls
+	// are bit-identical to the exporting accountant's.
+	Restore(st AccountantState) error
+}
+
+// AccountantState is the serializable ledger of any registered accountant:
+// the shared reservation/count state plus one field set per calculus
+// (unused fields stay zero and are omitted from JSON). A single concrete
+// struct — rather than per-implementation opaque blobs — keeps snapshots
+// self-describing and diffable in audit tooling.
+type AccountantState struct {
+	// Name is the registered accountant the state belongs to; Restore
+	// rejects a mismatch.
+	Name string `json:"name"`
+	// Reserved is the slice permanently set aside via Reserve.
+	Reserved Params `json:"reserved"`
+	// Count is the number of recorded spends.
+	Count int `json:"count"`
+	// SumEps, SumDelta is "basic"'s running parameter sum.
+	SumEps   float64 `json:"sum_eps,omitempty"`
+	SumDelta float64 `json:"sum_delta,omitempty"`
+	// MaxEps, MaxDelta are "advanced"'s per-component spend maxima;
+	// DeltaPrime its composition slack (construction-time, recorded so
+	// Restore can detect configuration drift).
+	MaxEps     float64 `json:"max_eps,omitempty"`
+	MaxDelta   float64 `json:"max_delta,omitempty"`
+	DeltaPrime float64 `json:"delta_prime,omitempty"`
+	// Rho is "zcdp"'s accumulated zCDP parameter; ApproxEps, ApproxDelta
+	// its linear side bucket for uncertified approximate-DP spends.
+	Rho         float64 `json:"rho,omitempty"`
+	ApproxEps   float64 `json:"approx_eps,omitempty"`
+	ApproxDelta float64 `json:"approx_delta,omitempty"`
+}
+
+// validateState rejects snapshots with the wrong name or malformed shared
+// fields; the numeric ledger fields are checked componentwise.
+func (st AccountantState) validate(wantName string) error {
+	if st.Name != wantName {
+		return fmt.Errorf("mech: restoring %q state into %q accountant", st.Name, wantName)
+	}
+	if st.Count < 0 {
+		return fmt.Errorf("mech: snapshot spend count %d is negative", st.Count)
+	}
+	for _, v := range []float64{
+		st.Reserved.Eps, st.Reserved.Delta, st.SumEps, st.SumDelta,
+		st.MaxEps, st.MaxDelta, st.Rho, st.ApproxEps, st.ApproxDelta,
+	} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("mech: snapshot ledger field %v is negative or not finite", v)
+		}
+	}
+	return nil
 }
 
 // MaxCallsCap bounds MaxCalls results: horizons beyond it are
@@ -334,6 +393,31 @@ func (a *basicAccountant) Total() Params {
 
 func (a *basicAccountant) Remaining() Params { return remainingOf(a.Budget(), a.Total()) }
 
+func (a *basicAccountant) Export() AccountantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AccountantState{
+		Name:     "basic",
+		Reserved: a.reserved,
+		Count:    a.n,
+		SumEps:   a.sumEps,
+		SumDelta: a.sumDelta,
+	}
+}
+
+func (a *basicAccountant) Restore(st AccountantState) error {
+	if err := st.validate("basic"); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reserved = st.Reserved
+	a.n = st.Count
+	a.sumEps = st.SumEps
+	a.sumDelta = st.SumDelta
+	return nil
+}
+
 // ---------------------------------------------------------------------------
 // advanced (DRV10, paper Theorem 3.10)
 
@@ -406,6 +490,38 @@ func (a *advancedAccountant) Total() Params {
 }
 
 func (a *advancedAccountant) Remaining() Params { return remainingOf(a.Budget(), a.Total()) }
+
+func (a *advancedAccountant) Export() AccountantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AccountantState{
+		Name:       "advanced",
+		Reserved:   a.reserved,
+		Count:      a.n,
+		MaxEps:     a.maxEps,
+		MaxDelta:   a.maxDelta,
+		DeltaPrime: a.deltaPrime,
+	}
+}
+
+func (a *advancedAccountant) Restore(st AccountantState) error {
+	if err := st.validate("advanced"); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	// δ′ is fixed at construction; a mismatch means the snapshot was taken
+	// under different accountant parameters, so Total would silently change
+	// meaning. Refuse rather than adopt either value.
+	if st.DeltaPrime != a.deltaPrime {
+		return fmt.Errorf("mech: snapshot delta_prime %v != configured %v", st.DeltaPrime, a.deltaPrime)
+	}
+	a.reserved = st.Reserved
+	a.n = st.Count
+	a.maxEps = st.MaxEps
+	a.maxDelta = st.MaxDelta
+	return nil
+}
 
 // ---------------------------------------------------------------------------
 // zcdp (Bun–Steinke 2016)
@@ -550,6 +666,33 @@ func (a *zcdpAccountant) Total() Params {
 }
 
 func (a *zcdpAccountant) Remaining() Params { return remainingOf(a.Budget(), a.Total()) }
+
+func (a *zcdpAccountant) Export() AccountantState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AccountantState{
+		Name:        "zcdp",
+		Reserved:    a.reserved,
+		Count:       a.n,
+		Rho:         a.rho,
+		ApproxEps:   a.approxEps,
+		ApproxDelta: a.approxDelta,
+	}
+}
+
+func (a *zcdpAccountant) Restore(st AccountantState) error {
+	if err := st.validate("zcdp"); err != nil {
+		return err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.reserved = st.Reserved
+	a.n = st.Count
+	a.rho = st.Rho
+	a.approxEps = st.ApproxEps
+	a.approxDelta = st.ApproxDelta
+	return nil
+}
 
 // The built-in accountants. init registration cannot fail: the table above
 // is empty and every name is distinct.

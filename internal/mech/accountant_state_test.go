@@ -1,0 +1,105 @@
+package mech
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestAccountantExportRestore drives each registered accountant through a
+// mixed spend history, snapshots it, restores into a fresh instance, and
+// checks every observable — totals, remaining budget, count, MaxCalls — is
+// bit-identical, then that both copies keep agreeing after further spends.
+func TestAccountantExportRestore(t *testing.T) {
+	budget := Params{Eps: 1, Delta: 1e-6}
+	spends := []Cost{
+		GaussianCost(1, 30, 0.05, 1e-8),
+		PureCost(0.02),
+		ApproxCost(0.03, 1e-9),
+		GaussianCost(1, 50, 0.01, 1e-8),
+	}
+	for _, name := range AccountantNames() {
+		t.Run(name, func(t *testing.T) {
+			a, err := NewAccountant(name, budget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := a.Reserve(Params{Eps: 0.5, Delta: 5e-7}); err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range spends {
+				if err := a.Spend(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			raw, err := json.Marshal(a.Export())
+			if err != nil {
+				t.Fatal(err)
+			}
+			var st AccountantState
+			if err := json.Unmarshal(raw, &st); err != nil {
+				t.Fatal(err)
+			}
+			b, err := NewAccountant(name, budget, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := b.Restore(st); err != nil {
+				t.Fatal(err)
+			}
+
+			check := func(stage string) {
+				t.Helper()
+				if a.Total() != b.Total() {
+					t.Fatalf("%s: Total %+v != %+v", stage, a.Total(), b.Total())
+				}
+				if a.Remaining() != b.Remaining() {
+					t.Fatalf("%s: Remaining %+v != %+v", stage, a.Remaining(), b.Remaining())
+				}
+				if a.Count() != b.Count() {
+					t.Fatalf("%s: Count %d != %d", stage, a.Count(), b.Count())
+				}
+				ma, erra := a.MaxCalls(spends[0])
+				mb, errb := b.MaxCalls(spends[0])
+				if ma != mb || (erra == nil) != (errb == nil) {
+					t.Fatalf("%s: MaxCalls %d/%v != %d/%v", stage, ma, erra, mb, errb)
+				}
+			}
+			check("after restore")
+			for _, c := range spends {
+				if err := a.Spend(c); err != nil {
+					t.Fatal(err)
+				}
+				if err := b.Spend(c); err != nil {
+					t.Fatal(err)
+				}
+			}
+			check("after further spends")
+		})
+	}
+}
+
+// TestAccountantRestoreRejections checks name mismatches, malformed
+// ledgers, and configuration drift are refused.
+func TestAccountantRestoreRejections(t *testing.T) {
+	budget := Params{Eps: 1, Delta: 1e-6}
+	adv, _ := NewAccountant("advanced", budget, nil)
+	if err := adv.Restore(AccountantState{Name: "zcdp"}); err == nil {
+		t.Error("name mismatch accepted")
+	}
+	if err := adv.Restore(AccountantState{Name: "advanced", Count: -1, DeltaPrime: budget.Delta / 4}); err == nil {
+		t.Error("negative count accepted")
+	}
+	if err := adv.Restore(AccountantState{Name: "advanced", SumEps: -1, DeltaPrime: budget.Delta / 4}); err == nil {
+		t.Error("negative ledger field accepted")
+	}
+	// delta_prime drift: snapshot from an accountant configured differently.
+	other, _ := NewAccountant("advanced", budget, json.RawMessage(`{"delta_prime": 1e-9}`))
+	if err := adv.Restore(other.Export()); err == nil {
+		t.Error("delta_prime drift accepted")
+	}
+	basic, _ := NewAccountant("basic", budget, nil)
+	if err := basic.Restore(basic.Export()); err != nil {
+		t.Errorf("identity restore rejected: %v", err)
+	}
+}

@@ -15,8 +15,8 @@ import (
 
 // Params is an (ε, δ) differential-privacy guarantee.
 type Params struct {
-	Eps   float64
-	Delta float64
+	Eps   float64 `json:"eps"`
+	Delta float64 `json:"delta"`
 }
 
 // Validate rejects non-positive ε and δ outside [0, 1).

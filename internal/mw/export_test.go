@@ -1,0 +1,95 @@
+package mw
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/universe"
+	"repro/internal/xeval"
+)
+
+// TestExportRoundTrip checks a restored state materializes the same
+// hypothesis and evolves bit-identically under further updates, including
+// through a JSON round trip and across engine choices.
+func TestExportRoundTrip(t *testing.T) {
+	u, err := universe.NewHypercube(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := New(u, Eta(1, 10, u.Size()), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.SetEngine(xeval.New(2))
+	upd := func(k int) []float64 {
+		v := make([]float64, u.Size())
+		for i := range v {
+			v[i] = float64((i*k)%7-3) / 4
+		}
+		return v
+	}
+	for k := 1; k <= 4; k++ {
+		if err := st.Update(upd(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	raw, err := json.Marshal(st.Export())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ex Export
+	if err := json.Unmarshal(raw, &ex); err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromExport(u, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different engine on purpose: the hypothesis must not depend on it.
+	back.SetEngine(xeval.New(1))
+
+	if back.Updates() != st.Updates() || back.Eta() != st.Eta() || back.Scale() != st.Scale() {
+		t.Fatalf("restored scalars differ: %d/%v/%v vs %d/%v/%v",
+			back.Updates(), back.Eta(), back.Scale(), st.Updates(), st.Eta(), st.Scale())
+	}
+	for k := 5; k <= 8; k++ {
+		if err := st.Update(upd(k)); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.Update(upd(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := st.Histogram().P, back.Histogram().P
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("hypothesis diverged at %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestFromExportValidation checks malformed snapshots are rejected.
+func TestFromExportValidation(t *testing.T) {
+	u, _ := universe.NewHypercube(3)
+	good := Export{Eta: 0.5, Scale: 1, Updates: 2, LogW: make([]float64, u.Size())}
+	if _, err := FromExport(u, good); err != nil {
+		t.Fatalf("valid snapshot rejected: %v", err)
+	}
+	cases := map[string]Export{
+		"short logW":       {Eta: 0.5, Scale: 1, LogW: make([]float64, 3)},
+		"negative updates": {Eta: 0.5, Scale: 1, Updates: -1, LogW: make([]float64, u.Size())},
+		"bad eta":          {Eta: 0, Scale: 1, LogW: make([]float64, u.Size())},
+		"nan weight":       {Eta: 0.5, Scale: 1, LogW: append(make([]float64, u.Size()-1), nan())},
+	}
+	for name, ex := range cases {
+		if _, err := FromExport(u, ex); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func nan() float64 {
+	var zero float64
+	return zero / zero
+}

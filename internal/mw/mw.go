@@ -169,6 +169,54 @@ func (st *State) Update(u []float64) error {
 // Updates returns the number of updates applied so far.
 func (st *State) Updates() int { return st.updates }
 
+// Export is a serializable snapshot of a State: the log-weight vector plus
+// the scalars New fixed and the update counter. Together with the universe
+// (which the owner re-supplies at restore — it is public data, not state)
+// it determines the hypothesis exactly: FromExport yields a State whose
+// every future Histogram and Update is bit-identical to the original's.
+type Export struct {
+	Eta     float64   `json:"eta"`
+	Scale   float64   `json:"scale"`
+	Updates int       `json:"updates"`
+	LogW    []float64 `json:"logw"`
+}
+
+// Export snapshots the state. The log weights are copied, so the snapshot
+// is immune to further updates.
+func (st *State) Export() Export {
+	return Export{
+		Eta:     st.eta,
+		Scale:   st.s,
+		Updates: st.updates,
+		LogW:    append([]float64(nil), st.logW...),
+	}
+}
+
+// FromExport reconstructs a State over u from a snapshot. The restored
+// state has a nil engine; callers install one with SetEngine (the
+// hypothesis is engine-independent, so this choice cannot affect restored
+// behavior). The log weights are copied in.
+func FromExport(u universe.Universe, ex Export) (*State, error) {
+	st, err := New(u, ex.Eta, ex.Scale)
+	if err != nil {
+		return nil, err
+	}
+	if len(ex.LogW) != u.Size() {
+		return nil, fmt.Errorf("mw: snapshot log-weight length %d != universe size %d", len(ex.LogW), u.Size())
+	}
+	if ex.Updates < 0 {
+		return nil, fmt.Errorf("mw: snapshot update count %d is negative", ex.Updates)
+	}
+	for i, v := range ex.LogW {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("mw: snapshot log weight %d = %v is not finite", i, v)
+		}
+	}
+	copy(st.logW, ex.LogW)
+	st.updates = ex.Updates
+	return st, nil
+}
+
 // Eta returns the learning rate in use.
 func (st *State) Eta() float64 { return st.eta }
 

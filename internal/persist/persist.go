@@ -1,0 +1,347 @@
+// Package persist is the snapshot/restore persistence layer for the
+// serving subsystem: versioned, self-describing codecs for per-session
+// mechanism state and an atomic file store for a server's state directory.
+//
+// Why it exists: every analyst session tracks privacy-budget state that the
+// paper's Figure-1 game requires to survive for the lifetime of the
+// dataset — MW log weights, sparse-vector epoch counters and the pending
+// noisy threshold, the accountant ledger, the noise-stream positions, and
+// the audit transcript. Before this package that state lived only in
+// process memory, so restarting `pmwcm serve` silently destroyed it.
+//
+// The format is a JSON envelope carrying a format name, an explicit schema
+// version, and the payload. Self-description is deliberate: a state file
+// identifies what it is without out-of-band context, decoding verifies
+// format and version before touching the payload, and files written by a
+// newer schema are refused rather than misread. Floating-point state
+// round-trips exactly — encoding/json formats float64 with the shortest
+// representation that parses back to the same bits — which the layer's
+// central invariant depends on: a session restored from a snapshot
+// continues bit-identically to an uninterrupted one (see core.Restore and
+// the golden tests in internal/core and internal/service).
+//
+// A state directory holds one file per session plus a manifest recording
+// the session-id sequence and a fingerprint of the private dataset, so a
+// restart against the wrong data is detected instead of silently serving a
+// different dataset under an old ledger. All writes are atomic
+// (temp file + rename in the same directory), so a crash mid-write leaves
+// the previous checkpoint intact, never a torn file.
+package persist
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/transcript"
+)
+
+// SchemaVersion is the current on-disk schema. Bump it when a payload
+// shape changes incompatibly; Decode refuses files from newer schemas and
+// future versions must keep decoding every older one they claim to.
+const SchemaVersion = 1
+
+// Format names identify payload types inside envelopes.
+const (
+	// FormatSession is a serialized SessionState.
+	FormatSession = "pmwcm-session"
+	// FormatManifest is a serialized Manifest.
+	FormatManifest = "pmwcm-manifest"
+)
+
+// Envelope is the self-describing frame around every persisted payload.
+type Envelope struct {
+	// Format names the payload type (FormatSession, FormatManifest).
+	Format string `json:"format"`
+	// Version is the schema version the payload was written under.
+	Version int `json:"version"`
+	// SavedAt records the wall-clock write time (informational only; no
+	// restored behavior depends on it).
+	SavedAt time.Time `json:"saved_at"`
+	// Payload is the enclosed document.
+	Payload json.RawMessage `json:"payload"`
+}
+
+// Encode wraps payload in a current-version envelope.
+func Encode(format string, payload any) ([]byte, error) {
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding %s payload: %w", format, err)
+	}
+	data, err := json.MarshalIndent(Envelope{
+		Format:  format,
+		Version: SchemaVersion,
+		SavedAt: time.Now().UTC(),
+		Payload: raw,
+	}, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("persist: encoding %s envelope: %w", format, err)
+	}
+	return append(data, '\n'), nil
+}
+
+// Decode verifies the envelope's format and version, then unmarshals the
+// payload into out. Files written by a newer schema are refused: the
+// payload may carry state this version does not know how to restore, and
+// guessing would corrupt a privacy ledger.
+func Decode(data []byte, format string, out any) error {
+	var env Envelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return fmt.Errorf("persist: decoding envelope: %w", err)
+	}
+	if env.Format != format {
+		return fmt.Errorf("persist: file format %q, want %q", env.Format, format)
+	}
+	if env.Version < 1 || env.Version > SchemaVersion {
+		return fmt.Errorf("persist: %s schema version %d not supported (current %d)", format, env.Version, SchemaVersion)
+	}
+	if err := json.Unmarshal(env.Payload, out); err != nil {
+		return fmt.Errorf("persist: decoding %s payload: %w", format, err)
+	}
+	return nil
+}
+
+// SessionState is the complete durable state of one analyst session: the
+// mechanism snapshot plus the service-level identity and audit record
+// around it. Params stays an opaque JSON document at this layer — the
+// service owns its parameter schema; persist only guarantees the document
+// round-trips.
+type SessionState struct {
+	// ID is the session identifier (also the state filename key).
+	ID string `json:"id"`
+	// Created is the session's creation time.
+	Created time.Time `json:"created"`
+	// Closed records an analyst-initiated permanent close. A graceful
+	// server shutdown checkpoints sessions with Closed=false so they
+	// resume live after restart.
+	Closed bool `json:"closed"`
+	// Oracle names the single-query oracle the session was served with.
+	// Recovery refuses a mismatch: under some accountants an oracle swap
+	// leaves every derived parameter unchanged, yet the continued answers
+	// would no longer be the ones the uninterrupted run releases.
+	Oracle string `json:"oracle"`
+	// Params is the service-level session-parameter document.
+	Params json.RawMessage `json:"params"`
+	// Core is the mechanism snapshot.
+	Core *core.Snapshot `json:"core"`
+	// Transcript is the audit transcript up to the checkpoint.
+	Transcript *transcript.Transcript `json:"transcript"`
+}
+
+// DatasetInfo fingerprints a private dataset for drift detection. The hash
+// covers the row indices and the universe description; it is an integrity
+// check against operator error (serving old state over different data),
+// not a cryptographic commitment.
+type DatasetInfo struct {
+	N        int    `json:"n"`
+	Universe string `json:"universe"`
+	Hash     string `json:"hash"`
+}
+
+// Fingerprint computes the dataset's identity record.
+func Fingerprint(d *dataset.Dataset) DatasetInfo {
+	h := fnv.New64a()
+	h.Write([]byte(d.U.String()))
+	var buf [8]byte
+	for _, r := range d.Rows {
+		binary.LittleEndian.PutUint64(buf[:], uint64(r))
+		h.Write(buf[:])
+	}
+	return DatasetInfo{
+		N:        d.N(),
+		Universe: d.U.String(),
+		Hash:     fmt.Sprintf("fnv1a64:%016x", h.Sum64()),
+	}
+}
+
+// Manifest is the state directory's root document.
+type Manifest struct {
+	// Seq is the highest session sequence number issued, so restarted
+	// managers never reuse a session id.
+	Seq uint64 `json:"seq"`
+	// Dataset fingerprints the private dataset the sessions were served
+	// from; opening the store against different data fails.
+	Dataset DatasetInfo `json:"dataset"`
+	// Source is the manager's root noise-stream position, recorded every
+	// time a session source is split off it. Recovery resumes the root
+	// stream from here — even if the operator changed the seed flag — so a
+	// session created after a restart can never be handed a noise stream a
+	// pre-restart session already drew from.
+	Source sample.State `json:"source"`
+}
+
+// Store is a session state directory. Methods are not safe for concurrent
+// use on the same id; the service serializes per-session saves behind the
+// session mutex and manifest saves behind the manager mutex.
+type Store struct {
+	dir string
+}
+
+// Open creates the directory if needed and returns a store over it.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("persist: empty state directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating state directory: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the state directory path.
+func (s *Store) Dir() string { return s.dir }
+
+const (
+	manifestFile  = "manifest.json"
+	sessionPrefix = "session-"
+	sessionSuffix = ".json"
+)
+
+// validID restricts session ids to filename-safe characters so an id can
+// never escape the state directory or collide with the manifest.
+func validID(id string) error {
+	if id == "" || len(id) > 128 {
+		return fmt.Errorf("persist: invalid session id %q", id)
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_', c == '.':
+		default:
+			return fmt.Errorf("persist: invalid session id %q", id)
+		}
+	}
+	if strings.HasPrefix(id, ".") {
+		return fmt.Errorf("persist: invalid session id %q", id)
+	}
+	return nil
+}
+
+// sessionPath maps an id to its state file.
+func (s *Store) sessionPath(id string) string {
+	return filepath.Join(s.dir, sessionPrefix+id+sessionSuffix)
+}
+
+// writeAtomic writes data to path via a temp file and rename, so readers
+// and crash recovery only ever observe complete files.
+func (s *Store) writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			os.Remove(tmpName)
+			return fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err)
+		}
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("persist: committing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// SaveManifest atomically writes the manifest.
+func (s *Store) SaveManifest(m *Manifest) error {
+	data, err := Encode(FormatManifest, m)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(filepath.Join(s.dir, manifestFile), data)
+}
+
+// LoadManifest reads the manifest, returning (nil, nil) when the directory
+// has none yet (a fresh state directory).
+func (s *Store) LoadManifest() (*Manifest, error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, manifestFile))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading manifest: %w", err)
+	}
+	var m Manifest
+	if err := Decode(data, FormatManifest, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// SaveSession atomically writes one session's state file.
+func (s *Store) SaveSession(st *SessionState) error {
+	if err := validID(st.ID); err != nil {
+		return err
+	}
+	data, err := Encode(FormatSession, st)
+	if err != nil {
+		return err
+	}
+	return s.writeAtomic(s.sessionPath(st.ID), data)
+}
+
+// LoadSession reads one session's state file.
+func (s *Store) LoadSession(id string) (*SessionState, error) {
+	if err := validID(id); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(s.sessionPath(id))
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading session %s: %w", id, err)
+	}
+	var st SessionState
+	if err := Decode(data, FormatSession, &st); err != nil {
+		return nil, fmt.Errorf("persist: session %s: %w", id, err)
+	}
+	if st.ID != id {
+		return nil, fmt.Errorf("persist: session file %s carries id %q", id, st.ID)
+	}
+	return &st, nil
+}
+
+// Sessions lists the ids with a state file, sorted. Discovery scans the
+// directory rather than trusting the manifest, so a session checkpointed
+// right before a crash is recovered even if no manifest write followed.
+func (s *Store) Sessions() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: listing state directory: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, sessionPrefix) || !strings.HasSuffix(name, sessionSuffix) {
+			continue
+		}
+		id := strings.TrimSuffix(strings.TrimPrefix(name, sessionPrefix), sessionSuffix)
+		if validID(id) == nil {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// DeleteSession removes a session's state file. Missing files are not an
+// error: deletion is an idempotent cleanup.
+func (s *Store) DeleteSession(id string) error {
+	if err := validID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(s.sessionPath(id)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("persist: deleting session %s: %w", id, err)
+	}
+	return nil
+}

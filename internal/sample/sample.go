@@ -6,23 +6,92 @@
 // wraps math/rand and adds the non-uniform samplers the mechanisms need:
 // Laplace (the workhorse of pure-DP noise addition), Gaussian, Gumbel (for
 // exponential-mechanism sampling via the Gumbel-max trick), and exponential.
+//
+// A Source's position in its stream is serializable: State captures
+// (seed, draws) and FromState replays the generator to the same position,
+// so a snapshotted mechanism resumes with bit-identical noise (the
+// persistence layer in internal/persist depends on this).
 package sample
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 )
 
+// countingSource wraps the standard math/rand generator and counts the
+// low-level Int63 draws consumed, making the stream position serializable.
+// It deliberately implements only rand.Source (not Source64): rand.Rand's
+// Uint64 fallback for plain Sources is the same two-Int63 expression the
+// runtime generator's own Uint64 uses, so every variate is bit-identical
+// to rand.New(rand.NewSource(seed)) while each draw passes through (and is
+// counted by) Int63.
+type countingSource struct {
+	src   rand.Source
+	draws uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.draws = 0
+}
+
 // Source is a seeded stream of random variates. It is not safe for
 // concurrent use; callers that parallelize must Split first.
 type Source struct {
-	rng *rand.Rand
+	rng  *rand.Rand
+	seed int64
+	cnt  *countingSource
 }
 
 // New returns a Source seeded with the given value. Equal seeds yield equal
 // streams.
 func New(seed int64) *Source {
-	return &Source{rng: rand.New(rand.NewSource(seed))}
+	cnt := &countingSource{src: rand.NewSource(seed)}
+	return &Source{rng: rand.New(cnt), seed: seed, cnt: cnt}
+}
+
+// State is a serializable snapshot of a Source's position in its stream:
+// the seed it was constructed with and the number of low-level draws
+// consumed so far. FromState(s.State()) continues s's stream exactly.
+type State struct {
+	Seed  int64  `json:"seed"`
+	Draws uint64 `json:"draws"`
+}
+
+// State returns the Source's current stream position.
+func (s *Source) State() State {
+	return State{Seed: s.seed, Draws: s.cnt.draws}
+}
+
+// MaxReplayDraws bounds the stream position FromState will replay. States
+// come from files, and replay is O(Draws), so an unchecked corrupt or
+// tampered count could hang recovery indefinitely. The bound is far above
+// any position a legitimate session reaches (a ⊤ answer draws on the order
+// of oracle-iterations × dimension variates, and sessions are capped at
+// 100000 queries) while capping worst-case replay at well under a minute.
+const MaxReplayDraws = 1 << 34
+
+// FromState reconstructs a Source at the given stream position by
+// re-seeding and replaying the recorded number of draws. The cost is
+// O(Draws), which for the mechanisms here (a handful of noise draws per
+// released answer) is negligible next to a single universe sweep. Positions
+// beyond MaxReplayDraws are refused as corrupt.
+func FromState(st State) (*Source, error) {
+	if st.Draws > MaxReplayDraws {
+		return nil, fmt.Errorf("sample: state position %d exceeds the replay bound %d (corrupt state?)", st.Draws, uint64(MaxReplayDraws))
+	}
+	s := New(st.Seed)
+	for i := uint64(0); i < st.Draws; i++ {
+		s.cnt.src.Int63()
+	}
+	s.cnt.draws = st.Draws
+	return s, nil
 }
 
 // Split derives an independent child Source. The child's stream is a

@@ -1,0 +1,472 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/convex"
+	"repro/internal/dataset"
+	"repro/internal/persist"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// durableData rebuilds the identical private dataset from a fixed seed —
+// what an operator restarting `pmwcm serve` with the same flags does.
+func durableData(t *testing.T, seed int64) *dataset.Dataset {
+	t.Helper()
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pop, err := dataset.Skewed(g, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dataset.SampleFrom(sample.New(seed), pop, 50000)
+}
+
+// durableManager builds a manager over the fixture dataset, optionally
+// durable. srcSeed seeds the manager's session-source; restored sessions
+// must not depend on it (their noise streams come from the state files).
+func durableManager(t *testing.T, dir string, dataSeed, srcSeed int64, defaults SessionParams) *Manager {
+	t.Helper()
+	cfg := Config{
+		Data:     durableData(t, dataSeed),
+		Source:   sample.New(srcSeed),
+		Defaults: defaults,
+	}
+	if dir != "" {
+		st, err := persist.Open(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Store = st
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mixedSpecs is a query stream that produces both ⊥ and ⊤ answers.
+func mixedSpecs(n int) []convex.Spec {
+	specs := make([]convex.Spec, 0, n)
+	for i := 0; specs == nil || len(specs) < n; i++ {
+		switch i % 3 {
+		case 0:
+			specs = append(specs, countingSpec(i%2))
+		case 1:
+			specs = append(specs, convex.Spec{Kind: "squared"})
+		default:
+			specs = append(specs, convex.Spec{Kind: "logistic", Params: json.RawMessage(`{"temp":0.5}`)})
+		}
+	}
+	return specs
+}
+
+// sameResult compares two query results bit-for-bit.
+func sameResult(t *testing.T, stage string, a, b *QueryResult) {
+	t.Helper()
+	if a.Loss != b.Loss || a.Top != b.Top ||
+		a.EpsSpent != b.EpsSpent || a.DeltaSpent != b.DeltaSpent || a.RhoSpent != b.RhoSpent ||
+		a.EpsRemaining != b.EpsRemaining || a.DeltaRemaining != b.DeltaRemaining ||
+		a.QueriesUsed != b.QueriesUsed || a.UpdatesUsed != b.UpdatesUsed {
+		t.Fatalf("%s: results differ:\n%+v\n%+v", stage, a, b)
+	}
+	if len(a.Answer) != len(b.Answer) {
+		t.Fatalf("%s: answer lengths %d vs %d", stage, len(a.Answer), len(b.Answer))
+	}
+	for j := range a.Answer {
+		if a.Answer[j] != b.Answer[j] {
+			t.Fatalf("%s: answer[%d] = %x, want %x", stage, j, b.Answer[j], a.Answer[j])
+		}
+	}
+}
+
+// TestDurableGoldenContinuation is the acceptance invariant at the service
+// layer, per accountant: a session checkpointed mid-stream and recovered
+// by a fresh manager (fresh process, same dataset and state directory)
+// answers the remaining query sequence bit-identically — answers, ⊥/⊤
+// pattern, budget spend, transcript — to an uninterrupted session.
+func TestDurableGoldenContinuation(t *testing.T) {
+	for _, acct := range []string{"basic", "advanced", "zcdp"} {
+		t.Run(acct, func(t *testing.T) {
+			defaults := SessionParams{
+				Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 12, TBudget: 6,
+				Accountant: acct,
+			}
+			specs := mixedSpecs(12)
+			const cut = 5
+
+			// Reference: one uninterrupted in-memory run.
+			ref := durableManager(t, "", 1, 9, defaults)
+			defer ref.Shutdown()
+			refSess, err := ref.CreateSession(SessionParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refResults := make([]*QueryResult, len(specs))
+			for i, q := range specs {
+				if refResults[i], err = refSess.Query(q); err != nil {
+					t.Fatalf("reference query %d: %v", i, err)
+				}
+			}
+
+			// Durable: same dataset and session-source seed, interrupted at
+			// cut by a graceful shutdown.
+			dir := t.TempDir()
+			m1 := durableManager(t, dir, 1, 9, defaults)
+			s1, err := m1.CreateSession(SessionParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < cut; i++ {
+				res, err := s1.Query(specs[i])
+				if err != nil {
+					t.Fatalf("pre-restart query %d: %v", i, err)
+				}
+				sameResult(t, "pre-restart", refResults[i], res)
+			}
+			m1.Shutdown()
+
+			// Restart: a different session-source seed on purpose — the
+			// restored stream position must come from the state file alone.
+			m2 := durableManager(t, dir, 1, 777, defaults)
+			defer m2.Shutdown()
+			s2, err := m2.Session(s1.ID())
+			if err != nil {
+				t.Fatalf("restored session not found: %v", err)
+			}
+			if got, want := s2.Status(), refSess.Status(); got.QueriesUsed != cut ||
+				got.UpdatesUsed > want.UpdatesUsed || got.Accountant != acct {
+				t.Fatalf("restored status %+v", got)
+			}
+			for i := cut; i < len(specs); i++ {
+				res, err := s2.Query(specs[i])
+				if err != nil {
+					t.Fatalf("post-restart query %d: %v", i, err)
+				}
+				sameResult(t, "post-restart", refResults[i], res)
+			}
+
+			// The audit transcripts of the stitched and uninterrupted runs
+			// must be byte-identical (modulo the session ids, which match
+			// here because both managers issued s-000001).
+			refTr, err := refSess.TranscriptJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTr, err := s2.TranscriptJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(refTr) != string(gotTr) {
+				t.Fatalf("transcripts differ:\n%s\n%s", refTr, gotTr)
+			}
+		})
+	}
+}
+
+// TestDurableCrashRecovery drops the manager without Shutdown — a crash —
+// and checks recovery resumes from the last ⊤-answer checkpoint with no
+// recorded spend lost.
+func TestDurableCrashRecovery(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 10, TBudget: 6}
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 1, 9, defaults)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tops, lastTopQuery int
+	for i, q := range mixedSpecs(8) {
+		res, err := s1.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Top {
+			tops++
+			lastTopQuery = i + 1
+		}
+	}
+	if tops == 0 {
+		t.Fatal("fixture produced no ⊤ answers; crash test is vacuous")
+	}
+	// No Shutdown: m1 is simply abandoned, as in a crash.
+
+	m2 := durableManager(t, dir, 1, 777, defaults)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s2.Status()
+	if st.UpdatesUsed != tops {
+		t.Fatalf("recovered %d updates, want all %d recorded spends", st.UpdatesUsed, tops)
+	}
+	// ⊥-only tail past the last ⊤ may be lost, but nothing before it.
+	if st.QueriesUsed < lastTopQuery {
+		t.Fatalf("recovered %d queries, want ≥ %d (last ⊤ checkpoint)", st.QueriesUsed, lastTopQuery)
+	}
+	if _, err := s2.Query(countingSpec(0)); err != nil {
+		t.Fatalf("recovered session cannot continue: %v", err)
+	}
+}
+
+// TestRestartDoesNotReuseNoiseStreams pins the root-source fix: the
+// manifest records the manager's root noise-stream position, so a session
+// created *after* a restart must not receive the noise stream a
+// pre-restart session already drew from. Without the fix, the restarted
+// manager's source rewinds to its seed and the post-restart session's ⊤
+// answers reproduce the pre-restart session's bit-for-bit — correlated
+// noise across sessions that no ledger accounts for.
+func TestRestartDoesNotReuseNoiseStreams(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.02, K: 6, TBudget: 6}
+	stream := mixedSpecs(4)
+	run := func(s *Session) []*QueryResult {
+		t.Helper()
+		out := make([]*QueryResult, len(stream))
+		for i, q := range stream {
+			res, err := s.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[i] = res
+		}
+		return out
+	}
+	tops := func(rs []*QueryResult) []*QueryResult {
+		var out []*QueryResult
+		for _, r := range rs {
+			if r.Top {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 1, 9, defaults)
+	sA, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resA := run(sA)
+	m1.Shutdown()
+
+	// Same flags as an operator restart: identical dataset and seed.
+	m2 := durableManager(t, dir, 1, 9, defaults)
+	defer m2.Shutdown()
+	sB, err := m2.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB := run(sB)
+
+	ta, tb := tops(resA), tops(resB)
+	if len(ta) == 0 || len(tb) == 0 {
+		t.Fatal("fixture produced no ⊤ answers; noise-reuse test is vacuous")
+	}
+	for i := 0; i < len(ta) && i < len(tb); i++ {
+		same := len(ta[i].Answer) == len(tb[i].Answer)
+		if same {
+			for j := range ta[i].Answer {
+				same = same && ta[i].Answer[j] == tb[i].Answer[j]
+			}
+		}
+		if same {
+			t.Fatalf("⊤ answer %d identical across pre- and post-restart sessions: noise stream reused (%v)", i, ta[i].Answer)
+		}
+	}
+}
+
+// TestDurableClosedSessionSurvives checks an analyst-closed session stays
+// permanently closed across restarts while remaining auditable.
+func TestDurableClosedSessionSurvives(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 5, TBudget: 6}
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 1, 9, defaults)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Query(countingSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m1.Shutdown()
+
+	m2 := durableManager(t, dir, 1, 777, defaults)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s2.Status().Closed {
+		t.Fatal("restored session should be closed")
+	}
+	if _, err := s2.Query(countingSpec(0)); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("query on restored closed session: %v", err)
+	}
+	if _, err := s2.TranscriptJSON(); err != nil {
+		t.Fatalf("transcript read on restored closed session: %v", err)
+	}
+	if m2.OpenSessions() != 0 {
+		t.Fatalf("closed session counted open: %d", m2.OpenSessions())
+	}
+	// A new session must not reuse the closed session's id.
+	s3, err := m2.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.ID() == s1.ID() {
+		t.Fatalf("session id %s reused", s3.ID())
+	}
+}
+
+// TestRecoverRejectsDrift checks the manifest and state files pin the
+// serving configuration: a different dataset or oracle refuses to start.
+func TestRecoverRejectsDrift(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 5, TBudget: 6}
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 1, 9, defaults)
+	if _, err := m1.CreateSession(SessionParams{}); err != nil {
+		t.Fatal(err)
+	}
+	m1.Shutdown()
+
+	// Different dataset seed → different rows → fingerprint mismatch.
+	st, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{
+		Data:     durableData(t, 2),
+		Source:   sample.New(9),
+		Defaults: defaults,
+		Store:    st,
+	}); err == nil || !strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("dataset drift: %v", err)
+	}
+
+	// Different oracle → refused per session.
+	oracle, err := OracleByName("laplace-linear", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{
+		Data:     durableData(t, 1),
+		Source:   sample.New(9),
+		Defaults: defaults,
+		Oracle:   oracle,
+		Store:    st,
+	}); err == nil || !strings.Contains(err.Error(), "oracle") {
+		t.Fatalf("oracle drift: %v", err)
+	}
+}
+
+// TestRecoverRejectsTamperedLedger corrupts the persisted transcript so it
+// disagrees with the accountant ledger and checks recovery refuses the
+// session rather than serving on top of an unverifiable spend history.
+func TestRecoverRejectsTamperedLedger(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 10, TBudget: 6}
+	dir := t.TempDir()
+	m1 := durableManager(t, dir, 1, 9, defaults)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTop bool
+	for _, q := range mixedSpecs(8) {
+		res, err := s1.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sawTop = sawTop || res.Top
+	}
+	if !sawTop {
+		t.Fatal("fixture produced no ⊤ answers; tamper test is vacuous")
+	}
+	m1.Shutdown()
+
+	st, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := st.LoadSession(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range rec.Transcript.Events {
+		if rec.Transcript.Events[i].Top {
+			// Erase one recorded spend: the transcript now claims less was
+			// released than the ledger (and the MW state) say.
+			rec.Transcript.Events[i].Top = false
+			break
+		}
+	}
+	if err := st.SaveSession(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{
+		Data:     durableData(t, 1),
+		Source:   sample.New(9),
+		Defaults: defaults,
+		Store:    st,
+	}); err == nil || !strings.Contains(err.Error(), "⊤") {
+		t.Fatalf("tampered ledger accepted: %v", err)
+	}
+}
+
+// TestSnapshotEndpoint checks the HTTP surface: 200 + {"saved":true} on a
+// durable server, 501 on a memory-only one, 404 for unknown sessions.
+func TestSnapshotEndpoint(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 5, TBudget: 6}
+	dir := t.TempDir()
+	m := durableManager(t, dir, 1, 9, defaults)
+	defer m.Shutdown()
+	h := NewHandler(m)
+	s, err := m.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/sessions/"+s.ID()+"/snapshot", nil))
+	if rr.Code != http.StatusOK || !strings.Contains(rr.Body.String(), `"saved": true`) {
+		t.Fatalf("snapshot on durable server: %d %s", rr.Code, rr.Body.String())
+	}
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/sessions/nope/snapshot", nil))
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("snapshot of unknown session: %d", rr.Code)
+	}
+
+	mem := durableManager(t, "", 1, 9, defaults)
+	defer mem.Shutdown()
+	hm := NewHandler(mem)
+	sm, err := mem.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr = httptest.NewRecorder()
+	hm.ServeHTTP(rr, httptest.NewRequest("POST", "/v1/sessions/"+sm.ID()+"/snapshot", nil))
+	if rr.Code != http.StatusNotImplemented {
+		t.Fatalf("snapshot on memory-only server: %d %s", rr.Code, rr.Body.String())
+	}
+
+	// healthz reports durability.
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if !strings.Contains(rr.Body.String(), `"durable": true`) {
+		t.Fatalf("healthz on durable server: %s", rr.Body.String())
+	}
+}

@@ -22,13 +22,20 @@ import (
 //	GET    /v1/sessions                  — list session statuses
 //	GET    /v1/sessions/{id}             — one session's status
 //	POST   /v1/sessions/{id}/query       — answer a query (body: {"kind": ..., "params": {...}})
+//	POST   /v1/sessions/{id}/snapshot    — force a durable checkpoint of the session
 //	GET    /v1/sessions/{id}/transcript  — the session's audit transcript
 //	DELETE /v1/sessions/{id}             — close the session
 //
 // Every response is JSON. Failures carry {"error": ...} with a status code
 // mapped from the service's typed errors: 404 unknown session, 409 closed,
-// 429 budget exhausted, 503 at the session limit or during shutdown, 400
+// 429 budget exhausted, 503 at the session limit or during shutdown, 501
+// snapshot without a state directory, 500 checkpoint write failure, 400
 // for malformed requests and unknown losses.
+//
+// Restore has no endpoint on purpose: sessions are restored by the manager
+// at startup from its state directory (see Config.Store), never by analyst
+// request — an analyst who could re-load an older snapshot would rewind
+// the privacy ledger and re-spend budget the mechanism already released.
 
 // NewHandler returns the HTTP handler serving m.
 func NewHandler(m *Manager) http.Handler {
@@ -39,6 +46,7 @@ func NewHandler(m *Manager) http.Handler {
 			"ok":            true,
 			"open_sessions": m.OpenSessions(),
 			"universe":      m.Universe().String(),
+			"durable":       m.Durable(),
 		})
 	})
 
@@ -101,6 +109,19 @@ func NewHandler(m *Manager) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
+	})
+
+	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := s.Checkpoint(); err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"saved": true})
 	})
 
 	mux.HandleFunc("GET /v1/sessions/{id}/transcript", func(w http.ResponseWriter, r *http.Request) {
@@ -174,6 +195,14 @@ func statusFor(err error) int {
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrNotDurable):
+		// Snapshot requested of a memory-only server: the feature is not
+		// configured, which is the server's circumstance, not the client's
+		// mistake.
+		return http.StatusNotImplemented
+	case errors.Is(err, ErrCheckpoint):
+		// The durable write failed; the session state is intact in memory.
+		return http.StatusInternalServerError
 	case errors.Is(err, core.ErrInvalidWorkers), errors.Is(err, mech.ErrUnknownAccountant):
 		// Malformed session request (e.g. "workers": -1 or an unregistered
 		// accountant name): a client error, listed explicitly so the

@@ -27,6 +27,14 @@
 // "zcdp" composes Gaussian-noise oracle calls in ρ and sustains a larger
 // update horizon from the same budget). Status reports the mode, the
 // composed spend so far, and the remaining budget.
+//
+// Durability is opt-in via Config.Store (internal/persist): sessions then
+// checkpoint their complete state — mechanism snapshot, privacy ledger,
+// transcript — on creation, every ⊤ answer (write-ahead, before the answer
+// is released), forced Checkpoint calls, close, and graceful shutdown. A
+// manager constructed over the same state directory and dataset recovers
+// every stored session: live ones continue the interaction bit-identically
+// to an uninterrupted run, closed ones remain readable for audits.
 package service
 
 import (
@@ -41,7 +49,9 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/erm"
 	"repro/internal/mech"
+	"repro/internal/persist"
 	"repro/internal/sample"
+	"repro/internal/transcript"
 	"repro/internal/universe"
 	"repro/internal/xeval"
 )
@@ -58,6 +68,15 @@ var (
 	ErrTooManySessions = errors.New("service: session limit reached")
 	// ErrShuttingDown: the manager has been shut down.
 	ErrShuttingDown = errors.New("service: manager is shut down")
+	// ErrNotDurable: a snapshot was requested but the manager has no state
+	// directory.
+	ErrNotDurable = errors.New("service: manager has no state directory")
+	// ErrCheckpoint: writing a session's durable state failed. On a ⊤
+	// answer the reply becomes this error while the in-memory ledger and
+	// transcript keep the spend (and the computed answer, which remains
+	// readable via the transcript endpoint), so budget is never spent
+	// without being counted.
+	ErrCheckpoint = errors.New("service: session checkpoint failed")
 )
 
 // SessionParams are the per-session mechanism parameters. Zero fields take
@@ -174,12 +193,23 @@ type Config struct {
 	Defaults SessionParams
 	// Limits bound resource usage.
 	Limits Limits
+	// Store makes the manager durable: every session checkpoints into it
+	// (on create, ⊤ answers, Checkpoint, close, and graceful shutdown) and
+	// New recovers every stored session — live ones resume mid-interaction
+	// bit-identically, closed ones stay readable for audits. Nil serves
+	// from memory only. The store's manifest pins a fingerprint of Data;
+	// opening old state over a different dataset fails.
+	Store *persist.Store
 }
 
 // Manager hosts concurrent analyst sessions over one private dataset. All
 // methods are safe for concurrent use.
 type Manager struct {
 	cfg Config
+	// fp is the dataset fingerprint, computed once at construction (only
+	// when durable): it is a constant of the manager's lifetime and goes
+	// into every manifest write.
+	fp persist.DatasetInfo
 
 	mu        sync.Mutex
 	seq       uint64
@@ -213,11 +243,189 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Limits.RetainClosed <= 0 {
 		cfg.Limits.RetainClosed = 128
 	}
-	return &Manager{
+	m := &Manager{
 		cfg:      cfg,
 		sessions: map[string]*Session{},
-	}, nil
+	}
+	if cfg.Store != nil {
+		if err := m.recover(); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
 }
+
+// coreConfig maps fully merged session parameters onto the mechanism
+// configuration. Creation and recovery both go through it, so a restored
+// session is rebuilt from exactly the derivation that created it.
+func (m *Manager) coreConfig(p SessionParams) core.Config {
+	return core.Config{
+		Eps: p.Eps, Delta: p.Delta,
+		Alpha: p.Alpha, Beta: p.Beta,
+		K: p.K, S: p.S,
+		Oracle:           m.cfg.Oracle,
+		TBudget:          p.TBudget,
+		Workers:          p.Workers,
+		Accountant:       p.Accountant,
+		AccountantParams: p.AccountantParams,
+	}
+}
+
+// recover replays the state directory into the manager: the manifest is
+// verified against the dataset fingerprint (or initialized on a fresh
+// directory), every stored session is restored — live sessions resume
+// mid-interaction, closed ones become readable audit records — and each
+// restored ledger is re-verified against its own transcript before the
+// session serves again.
+func (m *Manager) recover() error {
+	m.fp = persist.Fingerprint(m.cfg.Data)
+	man, err := m.cfg.Store.LoadManifest()
+	if err != nil {
+		return err
+	}
+	if man == nil {
+		man = &persist.Manifest{Dataset: m.fp, Source: m.cfg.Source.State()}
+		if err := m.cfg.Store.SaveManifest(man); err != nil {
+			return err
+		}
+	} else {
+		if man.Dataset != m.fp {
+			return fmt.Errorf("service: state directory %s belongs to a different dataset (manifest %+v, have %+v)",
+				m.cfg.Store.Dir(), man.Dataset, m.fp)
+		}
+		// Resume the root noise stream from the recorded position — not
+		// from the configured source, which a restart rewinds to its seed.
+		// A rewound root would split the same child seeds again and hand a
+		// post-restart session a noise stream some pre-restart session
+		// already drew from: correlated noise across sessions that no
+		// ledger accounts for.
+		src, err := sample.FromState(man.Source)
+		if err != nil {
+			return fmt.Errorf("service: manifest source state: %w", err)
+		}
+		m.cfg.Source = src
+	}
+	m.seq = man.Seq
+
+	ids, err := m.cfg.Store.Sessions()
+	if err != nil {
+		return err
+	}
+	// First pass: read every state file, bound the closed-session backlog
+	// *before* the expensive mechanism restores, and pin seq above every
+	// stored id (guarding against a manifest that lagged a create — ids
+	// are issued from seq, so seq must dominate them).
+	var states []*persist.SessionState
+	var closedIDs []string
+	for _, id := range ids {
+		st, err := m.cfg.Store.LoadSession(id)
+		if err != nil {
+			return err
+		}
+		states = append(states, st)
+		if st.Closed {
+			closedIDs = append(closedIDs, id)
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(id, "s-%d", &n); err == nil && n > m.seq {
+			m.seq = n
+		}
+	}
+	// Evict the oldest closed sessions beyond the retention cap, deleting
+	// their files so the state directory cannot grow without bound under
+	// create/close churn. (Close order is lost across restarts; id order —
+	// creation order — is the deterministic stand-in.)
+	evicted := map[string]bool{}
+	for len(closedIDs) > m.cfg.Limits.RetainClosed {
+		id := closedIDs[0]
+		closedIDs = closedIDs[1:]
+		evicted[id] = true
+		if err := m.cfg.Store.DeleteSession(id); err != nil {
+			return err
+		}
+	}
+	for _, st := range states {
+		if evicted[st.ID] {
+			continue
+		}
+		s, err := m.restoreOne(st)
+		if err != nil {
+			return fmt.Errorf("service: recovering session %s: %w", st.ID, err)
+		}
+		m.sessions[st.ID] = s
+		if st.Closed {
+			m.closedIDs = append(m.closedIDs, st.ID)
+		} else {
+			m.open++
+		}
+	}
+	return nil
+}
+
+// restoreOne rebuilds one session from its durable state.
+func (m *Manager) restoreOne(st *persist.SessionState) (*Session, error) {
+	var p SessionParams
+	if err := json.Unmarshal(st.Params, &p); err != nil {
+		return nil, fmt.Errorf("decoding session params: %w", err)
+	}
+	if st.Oracle != m.cfg.Oracle.Name() {
+		return nil, fmt.Errorf("session was served by oracle %q, manager runs %q — restored answers would diverge from the original interaction", st.Oracle, m.cfg.Oracle.Name())
+	}
+	if st.Core == nil || st.Transcript == nil {
+		return nil, fmt.Errorf("state file missing core snapshot or transcript")
+	}
+	srv, err := core.Restore(m.coreConfig(p), m.cfg.Data, st.Core)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyLedger(p, srv, st.Transcript); err != nil {
+		return nil, err
+	}
+	rec := &transcript.Recorder{Srv: srv, T: st.Transcript}
+	id := st.ID
+	return restoreSession(st, p, rec, m.cfg.Data.U, m.cfg.Store, func() { m.release(id) }), nil
+}
+
+// verifyLedger re-verifies a restored accountant against the replayed
+// transcript: a fresh accountant fed the reservation and every recorded ⊤
+// spend must land on exactly the restored ledger's composed bound and
+// remaining budget. This catches a state file whose ledger and transcript
+// disagree — tampering or a partial write that slipped past the envelope —
+// before the session spends any further budget on top of it.
+func verifyLedger(p SessionParams, srv *core.Server, t *transcript.Transcript) error {
+	fresh, err := mech.NewAccountant(p.Accountant, mech.Params{Eps: p.Eps, Delta: p.Delta}, p.AccountantParams)
+	if err != nil {
+		return err
+	}
+	if err := fresh.Reserve(mech.Params{Eps: p.Eps / 2, Delta: p.Delta / 2}); err != nil {
+		return err
+	}
+	if srv.Answered() != len(t.Events) {
+		return fmt.Errorf("ledger records %d answered queries but transcript has %d events", srv.Answered(), len(t.Events))
+	}
+	tops := 0
+	for _, ev := range t.Events {
+		if !ev.Top {
+			continue
+		}
+		tops++
+		if err := fresh.Spend(mech.Cost{Eps: ev.EpsSpent, Delta: ev.DeltaSpent, Rho: ev.RhoSpent}); err != nil {
+			return fmt.Errorf("replaying transcript spend %d: %w", ev.Index, err)
+		}
+	}
+	if srv.Updates() != tops {
+		return fmt.Errorf("ledger records %d updates but transcript shows %d ⊤ answers", srv.Updates(), tops)
+	}
+	if fresh.Total() != srv.Privacy() || fresh.Remaining() != srv.Remaining() {
+		return fmt.Errorf("restored ledger (total %+v, remaining %+v) does not match transcript replay (total %+v, remaining %+v)",
+			srv.Privacy(), srv.Remaining(), fresh.Total(), fresh.Remaining())
+	}
+	return nil
+}
+
+// Durable reports whether the manager checkpoints sessions to a state
+// directory.
+func (m *Manager) Durable() bool { return m.cfg.Store != nil }
 
 // Universe returns the public data universe sessions answer over.
 func (m *Manager) Universe() universe.Universe { return m.cfg.Data.U }
@@ -244,35 +452,51 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		return nil, ErrTooManySessions
 	}
 	m.seq++
-	id := fmt.Sprintf("s-%06d", m.seq)
+	seq := m.seq
+	id := fmt.Sprintf("s-%06d", seq)
 	src := m.cfg.Source.Split()
+	// Persist the issued sequence number and the advanced root-stream
+	// position before the session exists, still under the lock (concurrent
+	// creates must not reorder manifest writes): a crash here at worst
+	// skips an id and a child seed, never reuses either.
+	if m.cfg.Store != nil {
+		if err := m.cfg.Store.SaveManifest(&persist.Manifest{Seq: seq, Dataset: m.fp, Source: m.cfg.Source.State()}); err != nil {
+			m.mu.Unlock()
+			return nil, err
+		}
+	}
 	// Reserve the slot before the (comparatively slow) server construction
 	// so the limit holds under concurrent creates.
 	m.open++
 	m.mu.Unlock()
 
-	srv, err := core.New(core.Config{
-		Eps: p.Eps, Delta: p.Delta,
-		Alpha: p.Alpha, Beta: p.Beta,
-		K: p.K, S: p.S,
-		Oracle:           m.cfg.Oracle,
-		TBudget:          p.TBudget,
-		Workers:          p.Workers,
-		Accountant:       p.Accountant,
-		AccountantParams: p.AccountantParams,
-	}, m.cfg.Data, src)
-	if err != nil {
+	undo := func() {
 		m.mu.Lock()
 		m.open--
 		m.mu.Unlock()
+	}
+
+	srv, err := core.New(m.coreConfig(p), m.cfg.Data, src)
+	if err != nil {
+		undo()
 		return nil, err
 	}
 
-	s := newSession(id, p, srv, m.cfg.Data.U, time.Now(), func() { m.release(id) })
+	s := newSession(id, p, srv, m.cfg.Data.U, time.Now(), m.cfg.Oracle.Name(), m.cfg.Store, func() { m.release(id) })
+	// The creation checkpoint makes the session durable from its first
+	// moment: the split noise stream and the already-drawn sparse-vector
+	// threshold are on disk before any query is answered.
+	if err := s.Checkpoint(); err != nil && err != ErrNotDurable {
+		undo()
+		return nil, err
+	}
 	m.mu.Lock()
 	if m.shutdown {
 		m.open--
 		m.mu.Unlock()
+		if m.cfg.Store != nil {
+			_ = m.cfg.Store.DeleteSession(id)
+		}
 		return nil, ErrShuttingDown
 	}
 	m.sessions[id] = s
@@ -302,15 +526,30 @@ func (m *Manager) CloseSession(id string) error {
 }
 
 // release frees a closed session's slot and bounds the closed-session
-// backlog. It runs exactly once per session, from Session.Close.
+// backlog, deleting evicted sessions' state files so the directory cannot
+// grow without bound. It runs exactly once per session, from Session.Close
+// or suspend.
 func (m *Manager) release(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.open--
+	if m.shutdown {
+		// Suspending sessions at shutdown must not enter the closed-backlog
+		// eviction below: suspended sessions are live on disk, and evicting
+		// them here would delete state the next start needs. Recovery
+		// re-applies the retention bound to genuinely closed sessions.
+		return
+	}
 	m.closedIDs = append(m.closedIDs, id)
 	for len(m.closedIDs) > m.cfg.Limits.RetainClosed {
-		delete(m.sessions, m.closedIDs[0])
+		old := m.closedIDs[0]
 		m.closedIDs = m.closedIDs[1:]
+		delete(m.sessions, old)
+		if m.cfg.Store != nil {
+			// Best-effort: a failed unlink is re-attempted by the next
+			// restart's recovery eviction.
+			_ = m.cfg.Store.DeleteSession(old)
+		}
 	}
 }
 
@@ -341,9 +580,12 @@ func (m *Manager) OpenSessions() int {
 	return m.open
 }
 
-// Shutdown closes every open session and rejects all further creates and
+// Shutdown stops every open session and rejects all further creates and
 // queries. It is idempotent; status and transcript reads keep working so
-// in-flight audits can complete.
+// in-flight audits can complete. On a durable manager this is a *suspend*,
+// not a close: each live session is checkpointed with its closed flag
+// unset, so a new manager over the same state directory resumes every one
+// of them mid-interaction — the graceful-restart path of `pmwcm serve`.
 func (m *Manager) Shutdown() {
 	m.mu.Lock()
 	if m.shutdown {
@@ -357,9 +599,10 @@ func (m *Manager) Shutdown() {
 	}
 	m.mu.Unlock()
 	for _, s := range sessions {
-		// Close releases each open session's slot; already-closed sessions
-		// report ErrSessionClosed, which is fine here.
-		s.Close()
+		// suspend releases each open session's slot and checkpoints live
+		// state without persisting a close; already-closed sessions are
+		// left as they are.
+		s.suspend()
 	}
 }
 

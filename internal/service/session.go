@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/convex"
 	"repro/internal/core"
+	"repro/internal/persist"
 	"repro/internal/transcript"
 	"repro/internal/universe"
 )
@@ -16,11 +17,19 @@ import (
 // plus the ledger and transcript around it. A core.Server is inherently
 // sequential, so every operation that touches it serializes on the
 // session's mutex; distinct sessions never contend.
+//
+// When the manager is durable (Config.Store), the session checkpoints its
+// complete state — mechanism snapshot, ledger, transcript — to its state
+// file: on creation, on every ⊤ answer (write-ahead: the spend reaches disk
+// before the answer reaches the analyst, so a crash can lose a ⊥-only tail
+// but never a recorded budget spend), on Checkpoint, and on Close.
 type Session struct {
 	id      string
 	params  SessionParams
 	u       universe.Universe
 	created time.Time
+	oracle  string
+	store   *persist.Store // nil when the manager is memory-only
 
 	// onClose releases the session's manager slot; invoked exactly once,
 	// outside the state mutex, when the session closes.
@@ -31,7 +40,7 @@ type Session struct {
 	closed bool
 }
 
-func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, onClose func()) *Session {
+func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store *persist.Store, onClose func()) *Session {
 	rec := transcript.NewRecorder(srv)
 	rec.T.Meta["eps"] = p.Eps
 	rec.T.Meta["delta"] = p.Delta
@@ -42,9 +51,74 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 		params:  p,
 		u:       u,
 		created: created,
+		oracle:  oracle,
+		store:   store,
 		onClose: onClose,
 		rec:     rec,
 	}
+}
+
+// restoreSession rebuilds a Session around an already-restored recorder
+// (server + transcript), carrying over identity and the closed flag.
+func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store *persist.Store, onClose func()) *Session {
+	return &Session{
+		id:      st.ID,
+		params:  p,
+		u:       u,
+		created: st.Created,
+		oracle:  st.Oracle,
+		store:   store,
+		onClose: onClose,
+		rec:     rec,
+		closed:  st.Closed,
+	}
+}
+
+// stateLocked assembles the session's durable state (called under mu).
+func (s *Session) stateLocked() (*persist.SessionState, error) {
+	raw, err := json.Marshal(s.params)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding session params: %w", err)
+	}
+	return &persist.SessionState{
+		ID:         s.id,
+		Created:    s.created,
+		Closed:     s.closed,
+		Oracle:     s.oracle,
+		Params:     raw,
+		Core:       s.rec.Srv.Snapshot(),
+		Transcript: s.rec.T,
+	}, nil
+}
+
+// saveLocked checkpoints the session to its state file (called under mu;
+// no-op without a store). Holding the mutex across the write is deliberate:
+// the snapshot and the file must agree, and state files are small.
+func (s *Session) saveLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	st, err := s.stateLocked()
+	if err != nil {
+		return err
+	}
+	if err := s.store.SaveSession(st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	return nil
+}
+
+// Checkpoint forces a durable snapshot of the session's current state. It
+// fails with ErrNotDurable when the manager has no state directory.
+// Checkpointing a closed session rewrites its (final) state and is
+// harmless.
+func (s *Session) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.store == nil {
+		return ErrNotDurable
+	}
+	return s.saveLocked()
 }
 
 // ID returns the session identifier.
@@ -105,6 +179,19 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 	}
 	srv := s.rec.Srv
 	ev := s.rec.T.Events[len(s.rec.T.Events)-1]
+	if ev.Top {
+		// Write-ahead checkpoint: a ⊤ answer spent budget, so the spend
+		// must reach disk before the reply is sent. On failure the reply is
+		// an error while the in-memory ledger and transcript keep the spend
+		// and the answer (the event stays readable via the transcript
+		// endpoint — it is already-released information and trimming it
+		// would desynchronize transcript and ledger). The guarantee is
+		// about accounting, not secrecy: budget can be over-counted by a
+		// failed reply, never spent without being counted.
+		if err := s.saveLocked(); err != nil {
+			return nil, err
+		}
+	}
 	rem := srv.Remaining()
 	return &QueryResult{
 		Loss:           l.Name(),
@@ -226,7 +313,10 @@ func (s *Session) TranscriptJSON() ([]byte, error) {
 // Close permanently stops the session and releases its manager slot.
 // Subsequent queries fail with ErrSessionClosed; status and transcript
 // reads keep working (subject to the manager's closed-session retention
-// limit). Closing twice returns ErrSessionClosed.
+// limit). On a durable manager the final state is checkpointed with the
+// closed flag, so the session stays permanently closed across restarts;
+// a checkpoint failure is reported but the session closes regardless.
+// Closing twice returns ErrSessionClosed.
 func (s *Session) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -234,10 +324,35 @@ func (s *Session) Close() error {
 		return ErrSessionClosed
 	}
 	s.closed = true
+	saveErr := s.saveLocked()
 	cb := s.onClose
+	s.onClose = nil
 	s.mu.Unlock()
 	if cb != nil {
 		cb()
 	}
-	return nil
+	return saveErr
+}
+
+// suspend checkpoints a live session for a graceful restart and stops
+// serving it, without recording a close: the state file keeps Closed=false,
+// so the next manager over the same state directory resumes the session
+// exactly where it stopped. Already-closed sessions are left alone.
+func (s *Session) suspend() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	// Best-effort: shutdown must not wedge on a full disk; the last
+	// ⊤-answer checkpoint is still on disk, so at worst a ⊥-only tail of
+	// the interaction is lost.
+	_ = s.saveLocked()
+	s.closed = true
+	cb := s.onClose
+	s.onClose = nil
+	s.mu.Unlock()
+	if cb != nil {
+		cb()
+	}
 }

@@ -131,6 +131,66 @@ func (sv *SV) Query(value float64) (bool, error) {
 	return top, nil
 }
 
+// Export is a serializable snapshot of an SV run: the epoch counters, the
+// current epoch's already-drawn noisy threshold, and the position of the
+// noise stream. The Config is not part of the snapshot — the owner re-derives
+// it from its own restored configuration — so FromExport can verify the two
+// agree instead of trusting the file.
+type Export struct {
+	Tops        int          `json:"tops"`
+	Seen        int          `json:"seen"`
+	Halted      bool         `json:"halted"`
+	NoisyThresh float64      `json:"noisy_thresh"`
+	Src         sample.State `json:"src"`
+}
+
+// Export snapshots the run. Restoring with FromExport under the same Config
+// continues the ⊥/⊤ stream bit-identically: the pending threshold is carried
+// over verbatim and future noise replays from the recorded stream position.
+func (sv *SV) Export() Export {
+	return Export{
+		Tops:        sv.tops,
+		Seen:        sv.seen,
+		Halted:      sv.halted,
+		NoisyThresh: sv.noisyThresh,
+		Src:         sv.src.State(),
+	}
+}
+
+// FromExport reconstructs an SV run mid-stream from a snapshot and the same
+// Config the original run was created with.
+func FromExport(cfg Config, ex Export) (*SV, error) {
+	// New validates cfg and derives the per-epoch budget; its construction
+	// draw on the throwaway source is discarded along with the source, and
+	// the recorded pending threshold + stream position take over.
+	sv, err := New(cfg, sample.New(0))
+	if err != nil {
+		return nil, err
+	}
+	if ex.Tops < 0 || ex.Tops > cfg.T {
+		return nil, fmt.Errorf("sparse: snapshot tops %d outside [0, %d]", ex.Tops, cfg.T)
+	}
+	if ex.Seen < 0 || ex.Seen > cfg.K {
+		return nil, fmt.Errorf("sparse: snapshot seen %d outside [0, %d]", ex.Seen, cfg.K)
+	}
+	if math.IsNaN(ex.NoisyThresh) || math.IsInf(ex.NoisyThresh, 0) {
+		return nil, fmt.Errorf("sparse: snapshot threshold %v is not finite", ex.NoisyThresh)
+	}
+	if !ex.Halted && (ex.Tops >= cfg.T || ex.Seen >= cfg.K) {
+		return nil, fmt.Errorf("sparse: snapshot says live but counters (%d tops, %d seen) exhaust (T=%d, K=%d)", ex.Tops, ex.Seen, cfg.T, cfg.K)
+	}
+	src, err := sample.FromState(ex.Src)
+	if err != nil {
+		return nil, err
+	}
+	sv.src = src
+	sv.noisyThresh = ex.NoisyThresh
+	sv.tops = ex.Tops
+	sv.seen = ex.Seen
+	sv.halted = ex.Halted
+	return sv, nil
+}
+
 // Halted reports whether SV has stopped (T tops reached or k queries seen).
 func (sv *SV) Halted() bool { return sv.halted }
 

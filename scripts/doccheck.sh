@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# doccheck.sh — the repo's documentation gate, run in CI.
+#
+#   1. gofmt -l         : no unformatted files
+#   2. go vet ./...     : no vet diagnostics
+#   3. doccheck         : every internal package has a package doc comment,
+#                         and every exported symbol in internal/persist and
+#                         internal/service has a doc comment (the serving +
+#                         persistence surface is the repo's operational API,
+#                         so it is held to the strictest standard)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+go vet ./...
+
+pkgdoc_args=()
+for d in internal/*/; do
+    case "$d" in
+        internal/persist/|internal/service/) ;; # strict-checked below
+        *) pkgdoc_args+=(-pkgdoc "${d%/}") ;;
+    esac
+done
+go run ./scripts/doccheck "${pkgdoc_args[@]}" internal/persist internal/service
+
+echo "doccheck: OK"
