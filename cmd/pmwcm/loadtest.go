@@ -1,0 +1,144 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/loadgen"
+)
+
+// loadtestCmd drives a running `pmwcm serve` endpoint with a workload
+// scenario (internal/loadgen) and writes the measured JSON report. The
+// -min-hits and -max-5xx flags turn the run into a gate: CI uses them to
+// assert the cache-aware read path actually serves hits and the server
+// never faults under load.
+func loadtestCmd(args []string) error {
+	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
+	url := fs.String("url", "http://127.0.0.1:8787", "serve endpoint base URL")
+	scenarioPath := fs.String("scenario", "", "JSON scenario file (flags below override its fields when set)")
+	name := fs.String("name", "", "scenario label in the report")
+	mode := fs.String("mode", "", "arrival process: closed (default) or open")
+	duration := fs.Float64("duration", 0, "measured run length in seconds (default 5)")
+	sessions := fs.Int("sessions", 0, "session fan-out (default 1)")
+	concurrency := fs.Int("concurrency", 0, "closed-loop workers per session (default 2)")
+	rate := fs.Float64("rate", 0, "open-loop arrivals per second (default 50)")
+	batch := fs.Int("batch", 0, "batch size; >1 uses the queries:batch endpoint (default 1)")
+	hot := fs.Float64("hot", -1, "hot-key repeat ratio in [0,1] (default 0.8; 0 = all-cold workload)")
+	hotKeys := fs.Int("hotkeys", 0, "hot-key set size (default 8)")
+	accountants := fs.String("accountants", "", "comma-separated per-session accountants, round-robin (empty = server default)")
+	k := fs.Int("k", 0, "per-session query cap K to request (0 = server default)")
+	seed := fs.Int64("seed", 0, "query-stream seed (default 1)")
+	out := fs.String("out", "-", "report destination ('-' = stdout)")
+	minHits := fs.Int("min-hits", 0, "fail unless the run served at least this many cache hits")
+	max5xx := fs.Int("max-5xx", -1, "fail if the run saw more than this many HTTP 5xx responses (-1 = no gate)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc loadgen.Scenario
+	if *scenarioPath != "" {
+		raw, err := os.ReadFile(*scenarioPath)
+		if err != nil {
+			return err
+		}
+		if err := json.Unmarshal(raw, &sc); err != nil {
+			return fmt.Errorf("loadtest: parsing scenario %s: %w", *scenarioPath, err)
+		}
+	}
+	urlSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "url" {
+			urlSet = true
+		}
+	})
+	if sc.BaseURL == "" || urlSet {
+		sc.BaseURL = *url
+	}
+	if *name != "" {
+		sc.Name = *name
+	}
+	if *mode != "" {
+		sc.Mode = *mode
+	}
+	if *duration > 0 {
+		sc.DurationSec = *duration
+	}
+	if *sessions > 0 {
+		sc.Sessions = *sessions
+	}
+	if *concurrency > 0 {
+		sc.Concurrency = *concurrency
+	}
+	if *rate > 0 {
+		sc.Rate = *rate
+	}
+	if *batch > 0 {
+		sc.BatchSize = *batch
+	}
+	if *hot == 0 {
+		// The scenario layer reads negative as "explicitly all cold"
+		// (plain 0 would be indistinguishable from an omitted field).
+		sc.HotRatio = -1
+	} else if *hot > 0 {
+		sc.HotRatio = *hot
+	}
+	if *hotKeys > 0 {
+		sc.HotKeys = *hotKeys
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+	if *accountants != "" {
+		sc.Accountants = splitComma(*accountants)
+	}
+	if *k > 0 {
+		if sc.SessionParams == nil {
+			sc.SessionParams = map[string]any{}
+		}
+		sc.SessionParams["k"] = *k
+	}
+
+	rep, err := (&loadgen.Runner{}).Run(context.Background(), sc)
+	if err != nil {
+		return err
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		fmt.Println(string(enc))
+	} else {
+		if err := os.WriteFile(*out, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "pmwcm loadtest: wrote %s\n", *out)
+	}
+	fmt.Fprintf(os.Stderr, "pmwcm loadtest: %d req (%.0f rps), %d queries (%.0f qps), hit rate %.1f%%, p50 %.2fms p99 %.2fms, 5xx %d\n",
+		rep.Requests, rep.ThroughputRPS, rep.Queries, rep.ThroughputQPS,
+		100*rep.CacheHitRate, rep.Latency.P50, rep.Latency.P99, rep.Status5xx)
+
+	if *minHits > 0 && rep.CacheHits < *minHits {
+		return fmt.Errorf("loadtest gate: %d cache hits < required %d", rep.CacheHits, *minHits)
+	}
+	if *max5xx >= 0 && rep.Status5xx > *max5xx {
+		return fmt.Errorf("loadtest gate: %d HTTP 5xx responses > allowed %d", rep.Status5xx, *max5xx)
+	}
+	return nil
+}
+
+// splitComma splits a comma-separated flag, dropping empty entries.
+func splitComma(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

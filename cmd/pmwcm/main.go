@@ -10,13 +10,17 @@
 //	pmwcm run -csv T1.LIN      # emit CSV instead of an aligned table
 //	pmwcm serve -addr :8787    # serve the interactive query API
 //	pmwcm serve -state-dir st  # …with durable sessions across restarts
+//	pmwcm loadtest -duration 5 # drive a running serve with a load scenario
 //
 // Each experiment prints a table plus the paper's predicted shape. The
 // serve subcommand hosts the session-based HTTP/JSON query API of
 // internal/service; with -state-dir every session checkpoints its budget
-// state through internal/persist and survives restarts. See DESIGN.md for
-// the package inventory and README.md for a worked curl session and the
-// serve operations guide.
+// state through internal/persist and survives restarts. The loadtest
+// subcommand replays a configurable workload mix (internal/loadgen)
+// against a running serve and emits a latency/throughput/cache-hit JSON
+// report — CI runs it as the load smoke gate. See DESIGN.md for the
+// package inventory and README.md for a worked curl session, the serve
+// operations guide, and the loadtest guide.
 package main
 
 import (
@@ -57,6 +61,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmwcm:", err)
 			os.Exit(1)
 		}
+	case "loadtest":
+		if err := loadtestCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -75,7 +84,12 @@ func usage() {
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
               [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]
-              [-state-dir DIR]`)
+              [-state-dir DIR]
+  pmwcm loadtest [-url http://127.0.0.1:8787] [-scenario file.json]
+              [-mode closed|open] [-duration SEC] [-sessions N]
+              [-concurrency C] [-rate R] [-batch B] [-hot RATIO]
+              [-hotkeys H] [-accountants a,b] [-k K] [-out report.json]
+              [-min-hits N] [-max-5xx N]`)
 }
 
 func runCmd(args []string) error {

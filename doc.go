@@ -14,10 +14,16 @@
 // every universe-sized computation chunk-parallel with bit-identical
 // results for any worker count, and internal/persist gives sessions
 // durable snapshot/restore state (`pmwcm serve -state-dir`) — a restored
-// session continues bit-identically to an uninterrupted one.
+// session continues bit-identically to an uninterrupted one. The serving
+// read path is cache-aware and batched: repeats of an answered query are
+// re-released from a per-session answer cache as zero-spend
+// post-processing, batches answer many specs per round trip with one
+// checkpoint, and internal/loadgen (`pmwcm loadtest`) measures the
+// result — latency, throughput, cache-hit rate — as the CI load gate.
 //
 // The pmwcm command runs the batch experiments (`run`, `list`), releases
-// synthetic data (`synth`), and serves the interactive query API
-// (`serve`); README.md has the quickstart for each and the serve
-// operations guide.
+// synthetic data (`synth`), serves the interactive query API (`serve`),
+// and drives load scenarios against it (`loadtest`); README.md has the
+// quickstart for each, the serve operations guide, and the loadtest
+// guide.
 package repro

@@ -15,6 +15,12 @@
 // started over the same state directory, the restored session answers the
 // remaining half — and the program asserts every continued answer is
 // bit-identical to an uninterrupted reference run.
+//
+// Part 3 demonstrates the high-throughput read path: the batch endpoint
+// answers many queries per round trip, repeats are served from the
+// zero-spend answer cache (budget and noise streams untouched), and the
+// spec canonicalization means any spelling of the same query instance
+// hits the same cache entry.
 package main
 
 import (
@@ -36,6 +42,7 @@ import (
 func main() {
 	interactiveDemo()
 	durableDemo()
+	readPathDemo()
 }
 
 func interactiveDemo() {
@@ -109,8 +116,10 @@ func interactiveDemo() {
 		fmt.Printf("%d  %-40s  %-5v  %.4f    %.3v\n", i+1, res.Loss, res.Top, res.EpsSpent, res.Answer)
 	}
 
-	// The K+1-st query must be rejected: the budget ledger is empty.
-	req, _ := json.Marshal(queries[0])
+	// The K+1-st *fresh* query must be rejected: the budget ledger is
+	// empty. (A repeat of an answered query would still work — it is
+	// served from the answer cache; Part 3 demonstrates that.)
+	req, _ := json.Marshal(map[string]any{"kind": "positive", "params": map[string]any{"coord": 1}})
 	resp, err := http.Post(base+"/v1/sessions/"+sess.ID+"/query", "application/json", bytes.NewReader(req))
 	if err != nil {
 		log.Fatal(err)
@@ -120,7 +129,18 @@ func interactiveDemo() {
 	}
 	json.NewDecoder(resp.Body).Decode(&apiErr)
 	resp.Body.Close()
-	fmt.Printf("\nquery %d → HTTP %d: %s\n", len(queries)+1, resp.StatusCode, apiErr.Error)
+	fmt.Printf("\nfresh query %d → HTTP %d: %s\n", len(queries)+1, resp.StatusCode, apiErr.Error)
+
+	// A repeat of an already-answered query keeps working from the cache,
+	// even on the exhausted session — re-releasing recorded bytes is pure
+	// post-processing and spends nothing.
+	var cached struct {
+		Cached   bool    `json:"cached"`
+		EpsSpent float64 `json:"eps_spent"`
+	}
+	post(base+"/v1/sessions/"+sess.ID+"/query", queries[0], &cached)
+	fmt.Printf("repeat of query 1 → cached=%v, ε-spent=%g (zero-cost post-processing)\n",
+		cached.Cached, cached.EpsSpent)
 
 	// Pull the audit transcript: every exchange plus cumulative spend.
 	var tr struct {
@@ -267,6 +287,72 @@ func durableDemo() {
 			i+1, res.Loss, res.Top, res.Answer)
 	}
 	fmt.Printf("all %d post-restart answers bit-identical to the uninterrupted run\n", len(stream)-cut)
+}
+
+func readPathDemo() {
+	fmt.Println("\n=== Part 3: the read path — batches and the zero-spend answer cache ===")
+	mgr, srv, base := newWorld(42, "")
+	defer mgr.Shutdown()
+	defer srv.Close()
+	var sess struct {
+		ID string `json:"id"`
+	}
+	post(base+"/v1/sessions", map[string]any{}, &sess)
+
+	// One round trip, five queries — including an in-batch duplicate. The
+	// duplicate is served from the cache entry its first occurrence just
+	// created; only four queries reach the mechanism.
+	type batchResp struct {
+		Results []struct {
+			Result *queryResult `json:"result"`
+			Error  string       `json:"error"`
+		} `json:"results"`
+		CacheHits int `json:"cache_hits"`
+		Tops      int `json:"tops"`
+	}
+	batch := map[string]any{"queries": []any{
+		map[string]any{"kind": "positive", "params": map[string]any{"coord": 0}},
+		map[string]any{"kind": "logistic", "params": map[string]any{"temp": 0.5}},
+		map[string]any{"kind": "positive", "params": map[string]any{"coord": 0}},
+		map[string]any{"kind": "squared"},
+		map[string]any{"kind": "halfspace", "params": map[string]any{"w": []float64{1, 1, 0}, "threshold": 0}},
+	}}
+	var br batchResp
+	post(base+"/v1/sessions/"+sess.ID+"/queries:batch", batch, &br)
+	fmt.Printf("batch of %d: %d cache hit(s), %d ⊤ answer(s) — one checkpoint write per batch on a durable server\n",
+		len(br.Results), br.CacheHits, br.Tops)
+
+	// Budget before and after a storm of repeats: identical. Any spelling
+	// of the same canonical query hits the same entry.
+	var before struct {
+		EpsRemaining float64 `json:"eps_remaining"`
+	}
+	get(base+"/v1/sessions/"+sess.ID, &before)
+	spellings := []map[string]any{
+		{"kind": "logistic", "params": map[string]any{"temp": 0.5}},
+		{"kind": "logistic"}, // temp defaults to 0.5
+		{"kind": "logistic", "params": map[string]any{"margin": 0, "temp": 0.5}},
+	}
+	hits := 0
+	for i := 0; i < 100; i++ {
+		var res struct {
+			Cached bool `json:"cached"`
+		}
+		post(base+"/v1/sessions/"+sess.ID+"/query", spellings[i%len(spellings)], &res)
+		if res.Cached {
+			hits++
+		}
+	}
+	var after struct {
+		EpsRemaining float64 `json:"eps_remaining"`
+		QueriesUsed  int     `json:"queries_used"`
+	}
+	get(base+"/v1/sessions/"+sess.ID, &after)
+	if before.EpsRemaining != after.EpsRemaining {
+		log.Fatalf("cache hits moved the budget: %v → %v", before.EpsRemaining, after.EpsRemaining)
+	}
+	fmt.Printf("100 repeats across 3 spellings: %d cache hits, budget ε-remaining %.4f → %.4f (unchanged), mechanism queries used: %d\n",
+		hits, before.EpsRemaining, after.EpsRemaining, after.QueriesUsed)
 }
 
 // assertSame fails the demo if a continued answer deviates by a single bit

@@ -33,23 +33,62 @@ type Spec struct {
 // is public information; builders may enumerate it to certify bounds.
 type Builder func(u universe.Universe, params json.RawMessage) (Loss, error)
 
+// Registration describes a loss kind completely: how to decode its
+// parameters and how to build the loss. Kinds registered this way get full
+// canonicalization — CanonicalKey decodes raw params over the
+// default-initialized struct Defaults returns, so JSON key reordering and
+// elided default fields collapse to one canonical form.
+type Registration struct {
+	// Defaults returns a pointer to the kind's parameter struct, preloaded
+	// with the kind's default values over u (defaults may depend on the
+	// universe, e.g. a label-coordinate target).
+	Defaults func(u universe.Universe) any
+	// Build constructs the loss from params, the value Defaults returned
+	// with the spec's raw JSON strictly decoded over it. raw is the
+	// original JSON, passed through for compact display names only.
+	Build func(u universe.Universe, params any, raw json.RawMessage) (Loss, error)
+}
+
+// entry is one registered kind: either a full Registration or a legacy raw
+// Builder (no parameter struct; canonicalization falls back to generic
+// JSON normalization without default elision).
+type entry struct {
+	reg    Registration
+	legacy Builder
+}
+
 var (
 	regMu    sync.RWMutex
-	registry = map[string]Builder{}
+	registry = map[string]entry{}
 )
 
-// Register adds a loss kind to the registry. It fails on duplicate or empty
-// kinds; safe for concurrent use.
+// Register adds a loss kind with a raw JSON builder. It fails on duplicate
+// or empty kinds; safe for concurrent use. Kinds registered this way are
+// canonicalized by generic JSON normalization only — prefer RegisterKind,
+// which also collapses elided default fields.
 func Register(kind string, b Builder) error {
 	if kind == "" || b == nil {
 		return fmt.Errorf("convex: Register needs a kind and a builder")
 	}
+	return add(kind, entry{legacy: b})
+}
+
+// RegisterKind adds a fully described loss kind. It fails on duplicate or
+// empty kinds; safe for concurrent use.
+func RegisterKind(kind string, r Registration) error {
+	if kind == "" || r.Defaults == nil || r.Build == nil {
+		return fmt.Errorf("convex: RegisterKind needs a kind, a defaults factory, and a builder")
+	}
+	return add(kind, entry{reg: r})
+}
+
+func add(kind string, e entry) error {
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[kind]; dup {
 		return fmt.Errorf("convex: loss kind %q already registered", kind)
 	}
-	registry[kind] = b
+	registry[kind] = e
 	return nil
 }
 
@@ -65,19 +104,72 @@ func Kinds() []string {
 	return out
 }
 
+func lookup(kind string) (entry, bool) {
+	regMu.RLock()
+	e, ok := registry[kind]
+	regMu.RUnlock()
+	return e, ok
+}
+
 // Build constructs the loss named by spec over u.
 func Build(u universe.Universe, spec Spec) (Loss, error) {
-	regMu.RLock()
-	b, ok := registry[spec.Kind]
-	regMu.RUnlock()
+	e, ok := lookup(spec.Kind)
 	if !ok {
 		return nil, fmt.Errorf("convex: unknown loss kind %q (have %v)", spec.Kind, Kinds())
 	}
-	l, err := b(u, spec.Params)
+	l, err := build(u, e, spec)
 	if err != nil {
 		return nil, fmt.Errorf("convex: building %q: %w", spec.Kind, err)
 	}
 	return l, nil
+}
+
+func build(u universe.Universe, e entry, spec Spec) (Loss, error) {
+	if e.legacy != nil {
+		return e.legacy(u, spec.Params)
+	}
+	p := e.reg.Defaults(u)
+	if err := decodeParams(spec.Params, p); err != nil {
+		return nil, err
+	}
+	return e.reg.Build(u, p, spec.Params)
+}
+
+// CanonicalKey maps spec to its canonical cache key: a JSON array
+// [kind, params] where params is the kind's parameter struct — defaults
+// applied, raw JSON decoded over them, re-marshaled in fixed field order.
+// Two specs naming the same loss instance (JSON key reordering, explicit
+// default values vs. elided fields) map to the same key; specs with
+// distinct parameter values never collide, because the struct marshal is
+// injective on parameter values. Kinds registered with a legacy raw
+// Builder fall back to generic JSON normalization (sorted object keys, no
+// default elision). The key never touches private data — it is a pure
+// function of the public spec — so it is safe to record in transcripts and
+// serve as a cache index.
+func CanonicalKey(u universe.Universe, spec Spec) (string, error) {
+	e, ok := lookup(spec.Kind)
+	if !ok {
+		return "", fmt.Errorf("convex: unknown loss kind %q (have %v)", spec.Kind, Kinds())
+	}
+	var params any
+	if e.legacy != nil {
+		if len(spec.Params) > 0 {
+			if err := decodeParams(spec.Params, &params); err != nil {
+				return "", fmt.Errorf("convex: canonicalizing %q: %w", spec.Kind, err)
+			}
+		}
+	} else {
+		p := e.reg.Defaults(u)
+		if err := decodeParams(spec.Params, p); err != nil {
+			return "", fmt.Errorf("convex: canonicalizing %q: %w", spec.Kind, err)
+		}
+		params = p
+	}
+	key, err := json.Marshal([2]any{spec.Kind, params})
+	if err != nil {
+		return "", fmt.Errorf("convex: canonicalizing %q: %w", spec.Kind, err)
+	}
+	return string(key), nil
 }
 
 // decodeParams strictly decodes raw into v, treating empty params as the
@@ -179,231 +271,264 @@ func checkCoords(coords []int, dim int) error {
 	return nil
 }
 
+// Parameter structs of the built-in kinds. Field order is part of the
+// canonical key (CanonicalKey marshals these structs), so reordering
+// fields is a cache-key change.
+
+type squaredParams struct {
+	Target []float64 `json:"target"`
+}
+
+type logisticParams struct {
+	Margin float64 `json:"margin"`
+	Temp   float64 `json:"temp"`
+}
+
+type hingeParams struct {
+	Width float64 `json:"width"`
+}
+
+type huberParams struct {
+	Delta float64 `json:"delta"`
+}
+
+type pinballParams struct {
+	Tau    float64 `json:"tau"`
+	Smooth float64 `json:"smooth"`
+}
+
+type linearParams struct {
+	V []float64 `json:"v"`
+}
+
+type halfspaceParams struct {
+	W         []float64 `json:"w"`
+	Threshold float64   `json:"threshold"`
+}
+
+type marginalParams struct {
+	Coords []int `json:"coords"`
+	Signs  []int `json:"signs"`
+}
+
+type parityParams struct {
+	Coords []int `json:"coords"`
+}
+
+type positiveParams struct {
+	Coord int `json:"coord"`
+}
+
 // The built-in kinds. init registration cannot fail: the table above is
 // empty and every kind is distinct.
 func init() {
-	mustRegister := func(kind string, b Builder) {
-		if err := Register(kind, b); err != nil {
+	mustRegister := func(kind string, r Registration) {
+		if err := RegisterKind(kind, r); err != nil {
 			panic(err)
 		}
 	}
 
 	// squared: least-squares regression of the attribute ⟨target, x⟩ from
 	// the features. Default target is the label coordinate.
-	mustRegister("squared", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			Target []float64 `json:"target"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, fb, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		if p.Target == nil {
-			p.Target = make([]float64, u.Dim())
-			p.Target[u.Dim()-1] = 1
-		}
-		if len(p.Target) != u.Dim() {
-			return nil, fmt.Errorf("target has dim %d, universe dim is %d", len(p.Target), u.Dim())
-		}
-		tb := dotBound(u, p.Target)
-		if tb == 0 {
-			tb = 1 // degenerate target; any positive bound is valid
-		}
-		return NewSquared(shortName("squared", raw), ball, p.Target, fb, tb)
+	mustRegister("squared", Registration{
+		Defaults: func(u universe.Universe) any {
+			t := make([]float64, u.Dim())
+			if u.Dim() > 0 {
+				t[u.Dim()-1] = 1
+			}
+			return &squaredParams{Target: t}
+		},
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*squaredParams)
+			ball, fb, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			if p.Target == nil {
+				// An explicit {"target": null} nulls out the pre-filled
+				// default slice; re-apply the label-coordinate default.
+				p.Target = make([]float64, u.Dim())
+				p.Target[u.Dim()-1] = 1
+			}
+			if len(p.Target) != u.Dim() {
+				return nil, fmt.Errorf("target has dim %d, universe dim is %d", len(p.Target), u.Dim())
+			}
+			tb := dotBound(u, p.Target)
+			if tb == 0 {
+				tb = 1 // degenerate target; any positive bound is valid
+			}
+			return NewSquared(shortName("squared", raw), ball, p.Target, fb, tb)
+		},
 	})
 
 	// logistic: margin classification of the label sign.
-	mustRegister("logistic", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		p := struct {
-			Margin float64 `json:"margin"`
-			Temp   float64 `json:"temp"`
-		}{Temp: 0.5}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, fb, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		return NewLogistic(shortName("logistic", raw), ball, p.Margin, p.Temp, fb)
+	mustRegister("logistic", Registration{
+		Defaults: func(universe.Universe) any { return &logisticParams{Temp: 0.5} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*logisticParams)
+			ball, fb, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			return NewLogistic(shortName("logistic", raw), ball, p.Margin, p.Temp, fb)
+		},
 	})
 
 	// hinge: smoothed SVM on the label sign.
-	mustRegister("hinge", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		p := struct {
-			Width float64 `json:"width"`
-		}{Width: 1}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, fb, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		return NewSmoothedHinge(shortName("hinge", raw), ball, p.Width, fb)
+	mustRegister("hinge", Registration{
+		Defaults: func(universe.Universe) any { return &hingeParams{Width: 1} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*hingeParams)
+			ball, fb, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			return NewSmoothedHinge(shortName("hinge", raw), ball, p.Width, fb)
+		},
 	})
 
 	// huber: robust regression of the label.
-	mustRegister("huber", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		p := struct {
-			Delta float64 `json:"delta"`
-		}{Delta: 0.5}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, fb, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		return NewHuber(shortName("huber", raw), ball, p.Delta, fb)
+	mustRegister("huber", Registration{
+		Defaults: func(universe.Universe) any { return &huberParams{Delta: 0.5} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*huberParams)
+			ball, fb, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			return NewHuber(shortName("huber", raw), ball, p.Delta, fb)
+		},
 	})
 
 	// pinball: smoothed quantile regression of the label.
-	mustRegister("pinball", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		p := struct {
-			Tau    float64 `json:"tau"`
-			Smooth float64 `json:"smooth"`
-		}{Tau: 0.5, Smooth: 0.1}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, fb, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		return NewPinball(shortName("pinball", raw), ball, p.Tau, p.Smooth, fb)
+	mustRegister("pinball", Registration{
+		Defaults: func(universe.Universe) any { return &pinballParams{Tau: 0.5, Smooth: 0.1} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*pinballParams)
+			ball, fb, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			return NewPinball(shortName("pinball", raw), ball, p.Tau, p.Smooth, fb)
+		},
 	})
 
 	// linear: the affine loss with direction v over the full record (exact
 	// minimizer known in closed form — useful as a ground-truth probe).
-	mustRegister("linear", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			V []float64 `json:"v"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		ball, _, err := featBall(u)
-		if err != nil {
-			return nil, err
-		}
-		if len(p.V) != u.Dim() {
-			return nil, fmt.Errorf("v has dim %d, universe dim is %d", len(p.V), u.Dim())
-		}
-		fullBound := featureBound(u, u.Dim())
-		if fullBound == 0 {
-			return nil, fmt.Errorf("universe points are identically zero")
-		}
-		return NewLinearForm(shortName("linear", raw), ball, p.V, fullBound)
+	mustRegister("linear", Registration{
+		Defaults: func(universe.Universe) any { return &linearParams{} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*linearParams)
+			ball, _, err := featBall(u)
+			if err != nil {
+				return nil, err
+			}
+			if len(p.V) != u.Dim() {
+				return nil, fmt.Errorf("v has dim %d, universe dim is %d", len(p.V), u.Dim())
+			}
+			fullBound := featureBound(u, u.Dim())
+			if fullBound == 0 {
+				return nil, fmt.Errorf("universe points are identically zero")
+			}
+			return NewLinearForm(shortName("linear", raw), ball, p.V, fullBound)
+		},
 	})
 
 	// halfspace: the counting query q(x) = 1{⟨w, x⟩ ≥ threshold}.
-	mustRegister("halfspace", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			W         []float64 `json:"w"`
-			Threshold float64   `json:"threshold"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		if len(p.W) != u.Dim() {
-			return nil, fmt.Errorf("w has dim %d, universe dim is %d", len(p.W), u.Dim())
-		}
-		w := append([]float64(nil), p.W...)
-		t := p.Threshold
-		return NewLinearQuery(shortName("halfspace", raw), func(x []float64) float64 {
-			var s float64
-			for j := range w {
-				s += w[j] * x[j]
+	mustRegister("halfspace", Registration{
+		Defaults: func(universe.Universe) any { return &halfspaceParams{} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*halfspaceParams)
+			if len(p.W) != u.Dim() {
+				return nil, fmt.Errorf("w has dim %d, universe dim is %d", len(p.W), u.Dim())
 			}
-			if s >= t {
-				return 1
-			}
-			return 0
-		})
+			w := append([]float64(nil), p.W...)
+			t := p.Threshold
+			return NewLinearQuery(shortName("halfspace", raw), func(x []float64) float64 {
+				var s float64
+				for j := range w {
+					s += w[j] * x[j]
+				}
+				if s >= t {
+					return 1
+				}
+				return 0
+			})
+		},
 	})
 
 	// marginal: conjunction over sign-encoded coordinates; signs[i] gives
 	// the required sign (+1/−1) of coordinate coords[i] (default all +1).
-	mustRegister("marginal", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			Coords []int `json:"coords"`
-			Signs  []int `json:"signs"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		if err := checkCoords(p.Coords, u.Dim()); err != nil {
-			return nil, err
-		}
-		if p.Signs == nil {
-			p.Signs = make([]int, len(p.Coords))
-			for i := range p.Signs {
-				p.Signs[i] = 1
+	mustRegister("marginal", Registration{
+		Defaults: func(universe.Universe) any { return &marginalParams{} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*marginalParams)
+			if err := checkCoords(p.Coords, u.Dim()); err != nil {
+				return nil, err
 			}
-		}
-		if len(p.Signs) != len(p.Coords) {
-			return nil, fmt.Errorf("signs has %d entries, coords %d", len(p.Signs), len(p.Coords))
-		}
-		coords := append([]int(nil), p.Coords...)
-		signs := append([]int(nil), p.Signs...)
-		return NewLinearQuery(shortName("marginal", raw), func(x []float64) float64 {
-			for i, c := range coords {
-				if (x[c] > 0) != (signs[i] > 0) {
-					return 0
+			signs := p.Signs
+			if signs == nil {
+				signs = make([]int, len(p.Coords))
+				for i := range signs {
+					signs[i] = 1
 				}
 			}
-			return 1
-		})
+			signs = append([]int(nil), signs...)
+			if len(signs) != len(p.Coords) {
+				return nil, fmt.Errorf("signs has %d entries, coords %d", len(signs), len(p.Coords))
+			}
+			coords := append([]int(nil), p.Coords...)
+			return NewLinearQuery(shortName("marginal", raw), func(x []float64) float64 {
+				for i, c := range coords {
+					if (x[c] > 0) != (signs[i] > 0) {
+						return 0
+					}
+				}
+				return 1
+			})
+		},
 	})
 
 	// parity: q(x) = 1 iff an even number of the named coordinates is
 	// negative.
-	mustRegister("parity", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			Coords []int `json:"coords"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		if err := checkCoords(p.Coords, u.Dim()); err != nil {
-			return nil, err
-		}
-		coords := append([]int(nil), p.Coords...)
-		return NewLinearQuery(shortName("parity", raw), func(x []float64) float64 {
-			neg := false
-			for _, c := range coords {
-				if x[c] < 0 {
-					neg = !neg
+	mustRegister("parity", Registration{
+		Defaults: func(universe.Universe) any { return &parityParams{} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*parityParams)
+			if err := checkCoords(p.Coords, u.Dim()); err != nil {
+				return nil, err
+			}
+			coords := append([]int(nil), p.Coords...)
+			return NewLinearQuery(shortName("parity", raw), func(x []float64) float64 {
+				neg := false
+				for _, c := range coords {
+					if x[c] < 0 {
+						neg = !neg
+					}
 				}
-			}
-			if neg {
-				return 0
-			}
-			return 1
-		})
+				if neg {
+					return 0
+				}
+				return 1
+			})
+		},
 	})
 
 	// positive: the one-coordinate counting query q(x) = 1{x[coord] > 0}.
-	mustRegister("positive", func(u universe.Universe, raw json.RawMessage) (Loss, error) {
-		var p struct {
-			Coord int `json:"coord"`
-		}
-		if err := decodeParams(raw, &p); err != nil {
-			return nil, err
-		}
-		if p.Coord < 0 || p.Coord >= u.Dim() {
-			return nil, fmt.Errorf("coord %d outside universe dim %d", p.Coord, u.Dim())
-		}
-		c := p.Coord
-		return NewLinearQuery(shortName("positive", raw), func(x []float64) float64 {
-			if x[c] > 0 {
-				return 1
+	mustRegister("positive", Registration{
+		Defaults: func(universe.Universe) any { return &positiveParams{} },
+		Build: func(u universe.Universe, params any, raw json.RawMessage) (Loss, error) {
+			p := params.(*positiveParams)
+			if p.Coord < 0 || p.Coord >= u.Dim() {
+				return nil, fmt.Errorf("coord %d outside universe dim %d", p.Coord, u.Dim())
 			}
-			return 0
-		})
+			c := p.Coord
+			return NewLinearQuery(shortName("positive", raw), func(x []float64) float64 {
+				if x[c] > 0 {
+					return 1
+				}
+				return 0
+			})
+		},
 	})
 }

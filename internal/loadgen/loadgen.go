@@ -1,0 +1,590 @@
+// Package loadgen is the repo's workload generator: it drives a running
+// `pmwcm serve` endpoint over plain HTTP with configurable scenario mixes
+// and measures what the read path actually delivers — latency
+// distribution, throughput, cache-hit rate, and failure counts — as a
+// machine-readable JSON report.
+//
+// Why it exists: the serving subsystem's performance claims (zero-spend
+// answer cache, batched queries, narrowed lock hold) are about behavior
+// under traffic, which unit tests and micro-benchmarks cannot observe. A
+// scenario describes a reproducible workload — open- or closed-loop
+// arrivals, hot-key repeat ratios, batch sizes, multi-session fan-out,
+// per-session accountants — and Run executes it against the HTTP API the
+// way real analysts would, from outside the process. The emitted Report is
+// the data source for the CI load smoke job (which asserts a nonzero
+// cache-hit rate and zero server faults) and for operator capacity
+// planning.
+//
+// The generator is deliberately a pure HTTP client: it imports no serving
+// internals, so it measures the same surface an analyst sees, and it can
+// be pointed at any deployment.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Scenario is one reproducible workload description. Zero fields take the
+// defaults documented per field (applied by Run via normalized).
+type Scenario struct {
+	// Name labels the scenario in the report.
+	Name string `json:"name,omitempty"`
+	// BaseURL is the serve endpoint, e.g. "http://127.0.0.1:8787".
+	BaseURL string `json:"base_url"`
+	// Mode selects the arrival process: "closed" (default) keeps
+	// Concurrency workers per session in a request→response loop — load
+	// tracks service capacity; "open" issues arrivals at a fixed Rate per
+	// second regardless of completions — load tracks the offered rate, the
+	// honest model for latency under overload.
+	Mode string `json:"mode,omitempty"`
+	// DurationSec is the measured run length in seconds (default 5).
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	// Sessions is the session fan-out (default 1). Each session is created
+	// at start and closed at the end of the run.
+	Sessions int `json:"sessions,omitempty"`
+	// Accountants optionally assigns privacy accountants to sessions,
+	// round-robin ("basic", "advanced", "zcdp"); empty uses the server
+	// default.
+	Accountants []string `json:"accountants,omitempty"`
+	// SessionParams carries extra session-creation fields verbatim (e.g.
+	// {"k": 1000, "tbudget": 8}).
+	SessionParams map[string]any `json:"session_params,omitempty"`
+	// Concurrency is the closed-loop worker count per session (default 2).
+	Concurrency int `json:"concurrency,omitempty"`
+	// Rate is the open-loop total arrival rate in requests/sec (default
+	// 50); MaxInFlight caps outstanding open-loop requests (default 256).
+	Rate        float64 `json:"rate,omitempty"`
+	MaxInFlight int     `json:"max_in_flight,omitempty"`
+	// BatchSize > 1 sends batches of that many queries through the
+	// queries:batch endpoint; 0 or 1 sends single queries (default 1).
+	BatchSize int `json:"batch_size,omitempty"`
+	// HotRatio is the probability a generated query repeats one of HotKeys
+	// hot specs (default 0.8 over 8 keys) — the cache-hit dial. The
+	// remainder are cold: unique specs that always reach the mechanism.
+	// Zero (or omitted) takes the default; any negative value means an
+	// explicitly all-cold workload (`pmwcm loadtest -hot 0` maps to it).
+	HotRatio float64 `json:"hot_ratio,omitempty"`
+	HotKeys  int     `json:"hot_keys,omitempty"`
+	// Seed makes the generated query stream reproducible (default 1).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// normalized fills the documented defaults.
+func (sc Scenario) normalized() Scenario {
+	if sc.Mode == "" {
+		sc.Mode = "closed"
+	}
+	if sc.DurationSec <= 0 {
+		sc.DurationSec = 5
+	}
+	if sc.Sessions <= 0 {
+		sc.Sessions = 1
+	}
+	if sc.Concurrency <= 0 {
+		sc.Concurrency = 2
+	}
+	if sc.Rate <= 0 {
+		sc.Rate = 50
+	}
+	if sc.MaxInFlight <= 0 {
+		sc.MaxInFlight = 256
+	}
+	if sc.BatchSize <= 0 {
+		sc.BatchSize = 1
+	}
+	switch {
+	case sc.HotRatio < 0:
+		sc.HotRatio = 0 // explicit all-cold
+	case sc.HotRatio == 0 || sc.HotRatio > 1:
+		sc.HotRatio = 0.8
+	}
+	if sc.HotKeys <= 0 {
+		sc.HotKeys = 8
+	}
+	if sc.Seed == 0 {
+		sc.Seed = 1
+	}
+	return sc
+}
+
+// Validate rejects scenarios Run cannot execute.
+func (sc Scenario) Validate() error {
+	if sc.BaseURL == "" {
+		return fmt.Errorf("loadgen: scenario needs a base_url")
+	}
+	switch sc.Mode {
+	case "", "closed", "open":
+	default:
+		return fmt.Errorf("loadgen: unknown mode %q (have closed, open)", sc.Mode)
+	}
+	return nil
+}
+
+// spec is the client-side mirror of a query spec; loadgen speaks JSON, not
+// internal types.
+type spec struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// hotSpec deterministically maps hot-key index h to a query spec. The
+// catalog rotates universe-shape-independent kinds so a scenario works
+// against any labeled-grid deployment.
+func hotSpec(h int) spec {
+	switch h % 4 {
+	case 0:
+		return spec{Kind: "logistic", Params: json.RawMessage(fmt.Sprintf(`{"temp":%g}`, 0.3+0.05*float64(h)))}
+	case 1:
+		return spec{Kind: "hinge", Params: json.RawMessage(fmt.Sprintf(`{"width":%g}`, 1+0.1*float64(h)))}
+	case 2:
+		return spec{Kind: "huber", Params: json.RawMessage(fmt.Sprintf(`{"delta":%g}`, 0.3+0.02*float64(h)))}
+	default:
+		// The margin keeps every hot key a distinct canonical spec.
+		return spec{Kind: "logistic", Params: json.RawMessage(fmt.Sprintf(`{"margin":%g}`, 0.01*float64(h)))}
+	}
+}
+
+// coldSpec returns a query no prior request can have cached: the full
+// run-wide sequence number is embedded at a resolution float64 represents
+// exactly (spacing near 0.5 is ~1e-16 ≪ 1e-12) and %.17g round-trips, so
+// every cold key is unique for any realistic run length while the
+// temperature stays in a loss-friendly range.
+func coldSpec(n uint64) spec {
+	temp := 0.5 + float64(n)*1e-12
+	return spec{Kind: "logistic", Params: json.RawMessage(fmt.Sprintf(`{"temp":%.17g}`, temp))}
+}
+
+// generator produces one worker's reproducible query stream.
+type generator struct {
+	rng  *rand.Rand
+	sc   *Scenario
+	cold *atomic.Uint64 // shared cold-query sequence
+}
+
+func (g *generator) next() spec {
+	if g.rng.Float64() < g.sc.HotRatio {
+		return hotSpec(g.rng.Intn(g.sc.HotKeys))
+	}
+	return coldSpec(g.cold.Add(1))
+}
+
+func (g *generator) batch() []spec {
+	out := make([]spec, g.sc.BatchSize)
+	for i := range out {
+		out[i] = g.next()
+	}
+	return out
+}
+
+// LatencySummary is the request-latency distribution in milliseconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50_ms"`
+	P90  float64 `json:"p90_ms"`
+	P99  float64 `json:"p99_ms"`
+	Max  float64 `json:"max_ms"`
+	Mean float64 `json:"mean_ms"`
+}
+
+// Report is the measured outcome of a scenario run.
+type Report struct {
+	// Scenario echoes the normalized scenario that ran.
+	Scenario Scenario `json:"scenario"`
+	// StartedAt/ElapsedSec frame the measured window.
+	StartedAt  time.Time `json:"started_at"`
+	ElapsedSec float64   `json:"elapsed_sec"`
+
+	// Requests counts HTTP round trips; Queries counts individual query
+	// answers inside them (Requests × batch size, minus failures).
+	Requests int `json:"requests"`
+	Queries  int `json:"queries"`
+	// CacheHits / CacheHitRate measure the zero-spend read path; Tops
+	// counts budget-spending answers; Bottoms the ⊥ answers.
+	CacheHits    int     `json:"cache_hits"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Tops         int     `json:"tops"`
+	Bottoms      int     `json:"bottoms"`
+	// Rejected counts budget-exhaustion outcomes (HTTP 429 or the
+	// equivalent per-item error); ItemErrors counts other per-item
+	// failures.
+	Rejected   int `json:"rejected"`
+	ItemErrors int `json:"item_errors"`
+	// StatusCounts is every HTTP status seen; Status5xx the server-fault
+	// subtotal (the CI gate requires zero); TransportErrors counts
+	// requests that never produced a status.
+	StatusCounts    map[string]int `json:"status_counts"`
+	Status5xx       int            `json:"status_5xx"`
+	TransportErrors int            `json:"transport_errors"`
+
+	// ThroughputRPS / ThroughputQPS are requests and queries per second of
+	// measured wall clock.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ThroughputQPS float64 `json:"throughput_qps"`
+	// Latency summarizes per-request round-trip times.
+	Latency LatencySummary `json:"latency"`
+	// Dropped counts open-loop arrivals shed at the MaxInFlight cap —
+	// reported, never silent.
+	Dropped int `json:"dropped,omitempty"`
+}
+
+// collector accumulates request outcomes thread-safely.
+type collector struct {
+	mu        sync.Mutex
+	latencies []float64
+	report    Report
+}
+
+type outcome struct {
+	latencyMS float64
+	status    int
+	transport bool
+	skip      bool // request cut off by the end of the measured window
+	queries   int
+	hits      int
+	tops      int
+	bottoms   int
+	rejected  int
+	itemErrs  int
+}
+
+func (c *collector) add(o outcome) {
+	if o.skip {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &c.report
+	r.Requests++
+	if o.transport {
+		r.TransportErrors++
+	} else {
+		key := fmt.Sprintf("%d", o.status)
+		r.StatusCounts[key]++
+		if o.status >= 500 {
+			r.Status5xx++
+		}
+		if o.status == http.StatusTooManyRequests {
+			r.Rejected++
+		}
+	}
+	r.Queries += o.queries
+	r.CacheHits += o.hits
+	r.Tops += o.tops
+	r.Bottoms += o.bottoms
+	r.Rejected += o.rejected
+	r.ItemErrors += o.itemErrs
+	c.latencies = append(c.latencies, o.latencyMS)
+}
+
+// queryResult mirrors the server's per-query reply fields loadgen reads.
+type queryResult struct {
+	Top    bool `json:"top"`
+	Cached bool `json:"cached"`
+}
+
+// batchResponse mirrors the batch endpoint's reply.
+type batchResponse struct {
+	Results []struct {
+		Result *queryResult `json:"result"`
+		Error  string       `json:"error"`
+	} `json:"results"`
+}
+
+// Runner executes scenarios against a serve endpoint.
+type Runner struct {
+	// Client is the HTTP client (default: 30s timeout).
+	Client *http.Client
+}
+
+func (r *Runner) client() *http.Client {
+	if r.Client != nil {
+		return r.Client
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Run executes sc until its duration elapses (or ctx cancels) and returns
+// the measured report. Sessions are created before and closed after the
+// measured window; creation failures abort the run.
+func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sc = sc.normalized()
+	base := strings.TrimRight(sc.BaseURL, "/")
+
+	sessions := make([]string, sc.Sessions)
+	for i := range sessions {
+		params := map[string]any{}
+		for k, v := range sc.SessionParams {
+			params[k] = v
+		}
+		if len(sc.Accountants) > 0 {
+			params["accountant"] = sc.Accountants[i%len(sc.Accountants)]
+		}
+		id, err := r.createSession(ctx, base, params)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: creating session %d/%d: %w", i+1, sc.Sessions, err)
+		}
+		sessions[i] = id
+	}
+	defer func() {
+		for _, id := range sessions {
+			req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+			if err == nil {
+				if resp, err := r.client().Do(req); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}
+	}()
+
+	col := &collector{report: Report{
+		Scenario:     sc,
+		StartedAt:    time.Now(),
+		StatusCounts: map[string]int{},
+	}}
+	runCtx, cancel := context.WithTimeout(ctx, time.Duration(sc.DurationSec*float64(time.Second)))
+	defer cancel()
+	start := time.Now()
+	var cold atomic.Uint64
+
+	switch sc.Mode {
+	case "open":
+		r.runOpen(runCtx, base, sessions, &sc, &cold, col)
+	default:
+		r.runClosed(runCtx, base, sessions, &sc, &cold, col)
+	}
+
+	elapsed := time.Since(start).Seconds()
+	rep := &col.report
+	rep.ElapsedSec = elapsed
+	if elapsed > 0 {
+		rep.ThroughputRPS = float64(rep.Requests) / elapsed
+		rep.ThroughputQPS = float64(rep.Queries) / elapsed
+	}
+	if rep.Queries > 0 {
+		rep.CacheHitRate = float64(rep.CacheHits) / float64(rep.Queries)
+	}
+	rep.Latency = summarize(col.latencies)
+	return rep, nil
+}
+
+// runClosed keeps Concurrency workers per session in a request loop until
+// ctx expires.
+func (r *Runner) runClosed(ctx context.Context, base string, sessions []string, sc *Scenario, cold *atomic.Uint64, col *collector) {
+	var wg sync.WaitGroup
+	for si, id := range sessions {
+		for w := 0; w < sc.Concurrency; w++ {
+			wg.Add(1)
+			gen := &generator{rng: rand.New(rand.NewSource(sc.Seed + int64(si*1000+w))), sc: sc, cold: cold}
+			go func(id string) {
+				defer wg.Done()
+				for ctx.Err() == nil {
+					col.add(r.issue(ctx, base, id, gen))
+				}
+			}(id)
+		}
+	}
+	wg.Wait()
+}
+
+// runOpen issues arrivals at the scenario rate, shedding (and counting)
+// arrivals beyond MaxInFlight instead of queueing them — queueing would
+// silently convert an open-loop test into a closed-loop one.
+func (r *Runner) runOpen(ctx context.Context, base string, sessions []string, sc *Scenario, cold *atomic.Uint64, col *collector) {
+	interval := time.Duration(float64(time.Second) / sc.Rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	sem := make(chan struct{}, sc.MaxInFlight)
+	var wg sync.WaitGroup
+	var next atomic.Uint64
+	var genMu sync.Mutex
+	gen := &generator{rng: rand.New(rand.NewSource(sc.Seed)), sc: sc, cold: cold}
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-tick.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				col.mu.Lock()
+				col.report.Dropped++
+				col.mu.Unlock()
+				continue
+			}
+			id := sessions[int(next.Add(1))%len(sessions)]
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				// The generator is shared across arrival goroutines; its
+				// randomness is serialized so the stream stays reproducible.
+				genMu.Lock()
+				var payload []byte
+				var isBatch bool
+				payload, isBatch = gen.payload()
+				genMu.Unlock()
+				col.add(r.send(ctx, base, id, payload, isBatch))
+			}()
+		}
+	}
+}
+
+// payload renders the next request body.
+func (g *generator) payload() ([]byte, bool) {
+	if g.sc.BatchSize > 1 {
+		body, _ := json.Marshal(map[string]any{"queries": g.batch()})
+		return body, true
+	}
+	body, _ := json.Marshal(g.next())
+	return body, false
+}
+
+// issue generates and sends one request for a closed-loop worker.
+func (r *Runner) issue(ctx context.Context, base, session string, gen *generator) outcome {
+	payload, isBatch := gen.payload()
+	return r.send(ctx, base, session, payload, isBatch)
+}
+
+// send performs one query or batch request and classifies the outcome.
+func (r *Runner) send(ctx context.Context, base, session string, payload []byte, isBatch bool) outcome {
+	url := base + "/v1/sessions/" + session + "/query"
+	if isBatch {
+		url = base + "/v1/sessions/" + session + "/queries:batch"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return outcome{transport: true}
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := r.client().Do(req)
+	lat := time.Since(t0).Seconds() * 1000
+	if err != nil {
+		if ctx.Err() != nil {
+			// The measured window closed mid-request: shutdown, not a
+			// failure — excluded from the report entirely.
+			return outcome{skip: true}
+		}
+		return outcome{latencyMS: lat, transport: true}
+	}
+	defer resp.Body.Close()
+	o := outcome{latencyMS: lat, status: resp.StatusCode}
+	if resp.StatusCode != http.StatusOK {
+		return o
+	}
+	dec := json.NewDecoder(resp.Body)
+	if isBatch {
+		var br batchResponse
+		if err := dec.Decode(&br); err != nil {
+			o.transport = true
+			return o
+		}
+		for _, item := range br.Results {
+			switch {
+			case item.Result != nil:
+				o.queries++
+				classify(item.Result, &o)
+			case strings.Contains(item.Error, "budget exhausted"):
+				o.rejected++
+			default:
+				o.itemErrs++
+			}
+		}
+		return o
+	}
+	var qr queryResult
+	if err := dec.Decode(&qr); err != nil {
+		o.transport = true
+		return o
+	}
+	o.queries++
+	classify(&qr, &o)
+	return o
+}
+
+func classify(qr *queryResult, o *outcome) {
+	switch {
+	case qr.Cached:
+		o.hits++
+	case qr.Top:
+		o.tops++
+	default:
+		o.bottoms++
+	}
+}
+
+// createSession opens one session and returns its id.
+func (r *Runner) createSession(ctx context.Context, base string, params map[string]any) (string, error) {
+	body, err := json.Marshal(params)
+	if err != nil {
+		return "", err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/sessions", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var created struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", fmt.Errorf("status %d: %s", resp.StatusCode, created.Error)
+	}
+	return created.ID, nil
+}
+
+// summarize computes the latency distribution.
+func summarize(lat []float64) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(sorted) {
+			idx = len(sorted) - 1
+		}
+		return sorted[idx]
+	}
+	return LatencySummary{
+		P50:  pct(0.50),
+		P90:  pct(0.90),
+		P99:  pct(0.99),
+		Max:  sorted[len(sorted)-1],
+		Mean: sum / float64(len(sorted)),
+	}
+}

@@ -1,0 +1,190 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/sample"
+	"repro/internal/service"
+	"repro/internal/universe"
+)
+
+// TestScenarioDefaults pins the normalized defaults the docs promise.
+func TestScenarioDefaults(t *testing.T) {
+	sc := Scenario{BaseURL: "http://x"}.normalized()
+	if sc.Mode != "closed" || sc.DurationSec != 5 || sc.Sessions != 1 ||
+		sc.Concurrency != 2 || sc.BatchSize != 1 || sc.HotRatio != 0.8 ||
+		sc.HotKeys != 8 || sc.Seed != 1 {
+		t.Fatalf("normalized defaults = %+v", sc)
+	}
+	// Negative is the explicit all-cold spelling; plain zero (an omitted
+	// JSON field) takes the default.
+	if got := (Scenario{BaseURL: "http://x", HotRatio: -1}).normalized().HotRatio; got != 0 {
+		t.Fatalf("all-cold hot ratio normalized to %v, want 0", got)
+	}
+	if got := (Scenario{BaseURL: "http://x", HotRatio: 0.3}).normalized().HotRatio; got != 0.3 {
+		t.Fatalf("explicit hot ratio normalized to %v, want 0.3", got)
+	}
+	if err := (Scenario{}).Validate(); err == nil {
+		t.Fatal("scenario without base_url validated")
+	}
+	if err := (Scenario{BaseURL: "http://x", Mode: "sideways"}).Validate(); err == nil {
+		t.Fatal("unknown mode validated")
+	}
+}
+
+// TestGeneratorDeterminism: the same seed yields the same query stream —
+// scenarios are reproducible workloads, not noise.
+func TestGeneratorDeterminism(t *testing.T) {
+	sc := Scenario{BaseURL: "http://x", HotRatio: 0.5, HotKeys: 4, BatchSize: 3}.normalized()
+	stream := func() []string {
+		var cold atomic.Uint64
+		g := &generator{rng: rand.New(rand.NewSource(7)), sc: &sc, cold: &cold}
+		var out []string
+		for i := 0; i < 50; i++ {
+			for _, q := range g.batch() {
+				out = append(out, q.Kind+string(q.Params))
+			}
+		}
+		return out
+	}
+	a, b := stream(), stream()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("streams diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	// Hot specs are distinct canonical keys.
+	seen := map[string]bool{}
+	for h := 0; h < 16; h++ {
+		q := hotSpec(h)
+		k := q.Kind + string(q.Params)
+		if seen[k] {
+			t.Fatalf("hot key %d collides on %s", h, k)
+		}
+		seen[k] = true
+	}
+	// Cold specs never repeat — including far past the old 100k wrap and
+	// never colliding with a hot spec.
+	for _, n := range []uint64{1, 2, 99999, 100000, 100001, 200001, 1 << 30, 1<<30 + 1} {
+		q := coldSpec(n)
+		k := q.Kind + string(q.Params)
+		if seen[k] {
+			t.Fatalf("cold spec %d collides on %s", n, k)
+		}
+		seen[k] = true
+	}
+}
+
+// TestSummarize pins the percentile convention on a known distribution.
+func TestSummarize(t *testing.T) {
+	lat := make([]float64, 100)
+	for i := range lat {
+		lat[i] = float64(i + 1) // 1..100 ms
+	}
+	s := summarize(lat)
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 || s.Max != 100 {
+		t.Fatalf("summary %+v", s)
+	}
+	if z := summarize(nil); z != (LatencySummary{}) {
+		t.Fatalf("empty summary %+v", z)
+	}
+}
+
+// startService boots a real serving subsystem on an httptest listener —
+// the load generator exercises exactly the HTTP surface production runs.
+func startService(t *testing.T) *httptest.Server {
+	t.Helper()
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sample.New(7)
+	pop, err := dataset.Skewed(g, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.SampleFrom(src.Split(), pop, 50000)
+	m, err := service.New(service.Config{
+		Data:   data,
+		Source: src.Split(),
+		Defaults: service.SessionParams{
+			Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 500, TBudget: 4,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(service.NewHandler(m))
+	t.Cleanup(func() {
+		ts.Close()
+		m.Shutdown()
+	})
+	return ts
+}
+
+// TestRunClosedLoop is the in-process load smoke: a short mixed scenario
+// against a real handler must complete with traffic, a nonzero cache-hit
+// rate, and zero server faults.
+func TestRunClosedLoop(t *testing.T) {
+	ts := startService(t)
+	rep, err := (&Runner{}).Run(context.Background(), Scenario{
+		BaseURL:     ts.URL,
+		DurationSec: 0.4,
+		Sessions:    2,
+		Concurrency: 2,
+		BatchSize:   4,
+		HotRatio:    0.8,
+		HotKeys:     6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.Queries == 0 {
+		t.Fatalf("no traffic measured: %+v", rep)
+	}
+	if rep.CacheHits == 0 || rep.CacheHitRate <= 0 {
+		t.Fatalf("hot-key scenario produced no cache hits: %+v", rep)
+	}
+	if rep.Status5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("server faults under load: %+v", rep)
+	}
+	if rep.Latency.P50 <= 0 || rep.Latency.P99 < rep.Latency.P50 {
+		t.Fatalf("degenerate latency summary: %+v", rep.Latency)
+	}
+	if rep.ThroughputQPS <= 0 {
+		t.Fatalf("no throughput: %+v", rep)
+	}
+}
+
+// TestRunOpenLoop covers the fixed-rate arrival process, single-query
+// endpoint, and multi-accountant fan-out.
+func TestRunOpenLoop(t *testing.T) {
+	ts := startService(t)
+	rep, err := (&Runner{}).Run(context.Background(), Scenario{
+		BaseURL:     ts.URL,
+		Mode:        "open",
+		Rate:        200,
+		DurationSec: 0.4,
+		Sessions:    3,
+		Accountants: []string{"advanced", "zcdp"},
+		HotRatio:    0.9,
+		HotKeys:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatalf("no traffic measured: %+v", rep)
+	}
+	if rep.Status5xx != 0 {
+		t.Fatalf("server faults under load: %+v", rep)
+	}
+	if rep.CacheHits == 0 {
+		t.Fatalf("hot open-loop scenario produced no cache hits: %+v", rep)
+	}
+}

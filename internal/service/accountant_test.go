@@ -71,7 +71,7 @@ func TestHTTPAccountantLifecycle(t *testing.T) {
 			var errResp struct {
 				Error string `json:"error"`
 			}
-			st := doJSON(t, "POST", base+"/v1/sessions/"+sess.ID+"/query", countingSpec(i%3), &res)
+			st := doJSON(t, "POST", base+"/v1/sessions/"+sess.ID+"/query", distinctSpec(i), &res)
 			switch st {
 			case 200:
 				// Remaining must never increase, and ⊤ answers must
@@ -149,7 +149,7 @@ func TestConcurrentSharedSessionAccountants(t *testing.T) {
 			go func(w int) {
 				defer wg.Done()
 				for q := 0; q < 4; q++ {
-					if _, err := s.Query(countingSpec((w + q) % 3)); err != nil && !errors.Is(err, ErrBudgetExhausted) {
+					if _, err := s.Query(distinctSpec(w*4 + q)); err != nil && !errors.Is(err, ErrBudgetExhausted) {
 						t.Errorf("%s: query: %v", acct, err)
 						return
 					}

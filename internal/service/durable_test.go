@@ -143,9 +143,17 @@ func TestDurableGoldenContinuation(t *testing.T) {
 			if err != nil {
 				t.Fatalf("restored session not found: %v", err)
 			}
-			if got, want := s2.Status(), refSess.Status(); got.QueriesUsed != cut ||
+			// Cached repeats never reach the mechanism, so the restored query
+			// counter equals the number of non-cached answers before the cut.
+			wantUsed := 0
+			for i := 0; i < cut; i++ {
+				if !refResults[i].Cached {
+					wantUsed++
+				}
+			}
+			if got, want := s2.Status(), refSess.Status(); got.QueriesUsed != wantUsed ||
 				got.UpdatesUsed > want.UpdatesUsed || got.Accountant != acct {
-				t.Fatalf("restored status %+v", got)
+				t.Fatalf("restored status %+v, want %d queries used", got, wantUsed)
 			}
 			for i := cut; i < len(specs); i++ {
 				res, err := s2.Query(specs[i])
@@ -468,5 +476,50 @@ func TestSnapshotEndpoint(t *testing.T) {
 	h.ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
 	if !strings.Contains(rr.Body.String(), `"durable": true`) {
 		t.Fatalf("healthz on durable server: %s", rr.Body.String())
+	}
+}
+
+// TestStaleForcedSaveDoesNotClobber pins the save-sequencing rule: a
+// forced save carrying state older than what is already on disk (a
+// snapshot request that lost the race against a concurrent query's
+// write-ahead checkpoint) must be skipped, never written — overwriting
+// the newer file would drop a durable spend whose answer was already
+// released.
+func TestStaleForcedSaveDoesNotClobber(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 10, TBudget: 6}
+	m := durableManager(t, t.TempDir(), 1, 9, defaults)
+	defer m.Shutdown()
+	s, err := m.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(countingSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Assemble a stale state now (what a racing Checkpoint would hold)...
+	s.mu.Lock()
+	stale, err := s.stateLocked()
+	staleSeq := len(s.rec.T.Events)
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ...then let the session move on and checkpoint the newer state.
+	if _, err := s.Query(countingSpec(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	newest := len(loadState(t, m, s.ID()).Transcript.Events)
+	if newest <= staleSeq {
+		t.Fatalf("fixture did not advance the transcript (%d <= %d)", newest, staleSeq)
+	}
+	// The stale forced save must be a no-op.
+	if err := s.save(stale, staleSeq, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(loadState(t, m, s.ID()).Transcript.Events); got != newest {
+		t.Fatalf("stale forced save rewound the state file to %d events, want %d", got, newest)
 	}
 }

@@ -22,6 +22,7 @@ import (
 //	GET    /v1/sessions                  — list session statuses
 //	GET    /v1/sessions/{id}             — one session's status
 //	POST   /v1/sessions/{id}/query       — answer a query (body: {"kind": ..., "params": {...}})
+//	POST   /v1/sessions/{id}/queries:batch — answer a batch (body: {"queries": [spec, ...]})
 //	POST   /v1/sessions/{id}/snapshot    — force a durable checkpoint of the session
 //	GET    /v1/sessions/{id}/transcript  — the session's audit transcript
 //	DELETE /v1/sessions/{id}             — close the session
@@ -111,6 +112,33 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, res)
 	})
 
+	mux.HandleFunc("POST /v1/sessions/{id}/queries:batch", func(w http.ResponseWriter, r *http.Request) {
+		s, err := m.Session(r.PathValue("id"))
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		var req BatchRequest
+		if err := decodeBody(w, r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		if len(req.Queries) == 0 {
+			writeError(w, fmt.Errorf("service: batch needs at least one query"))
+			return
+		}
+		if len(req.Queries) > MaxBatchSize {
+			writeError(w, fmt.Errorf("service: batch of %d queries exceeds limit %d", len(req.Queries), MaxBatchSize))
+			return
+		}
+		items, err := s.QueryBatch(req.Queries)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, newBatchResponse(items))
+	})
+
 	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
 		s, err := m.Session(r.PathValue("id"))
 		if err != nil {
@@ -149,6 +177,43 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	return mux
+}
+
+// MaxBatchSize caps the number of queries one batch request may carry.
+const MaxBatchSize = 1024
+
+// BatchRequest is the body of POST /v1/sessions/{id}/queries:batch.
+type BatchRequest struct {
+	// Queries are the specs to answer, in submission order.
+	Queries []convex.Spec `json:"queries"`
+}
+
+// BatchResponse is the body of a successful batch reply.
+type BatchResponse struct {
+	// Results has one entry per submitted query, in submission order.
+	Results []BatchItem `json:"results"`
+	// CacheHits counts items served from the answer cache (zero spend);
+	// Tops counts items whose answer spent an oracle call; Errors counts
+	// failed items.
+	CacheHits int `json:"cache_hits"`
+	Tops      int `json:"tops"`
+	Errors    int `json:"errors"`
+}
+
+// newBatchResponse summarizes items into the HTTP reply.
+func newBatchResponse(items []BatchItem) BatchResponse {
+	resp := BatchResponse{Results: items}
+	for _, it := range items {
+		switch {
+		case it.Error != "":
+			resp.Errors++
+		case it.Result.Cached:
+			resp.CacheHits++
+		case it.Result.Top:
+			resp.Tops++
+		}
+	}
+	return resp
 }
 
 // maxBodyBytes caps request bodies; session and query payloads are tiny by

@@ -152,12 +152,19 @@ func TestHTTPEndToEnd(t *testing.T) {
 		t.Fatal("no query triggered ⊤/oracle spend; the acceptance path needs at least one")
 	}
 
-	// The K+1-st query is rejected with the budget-exhaustion status.
+	// A K+1-st *fresh* query is rejected with the budget-exhaustion
+	// status; a repeat of an answered query is served from the cache with
+	// zero spend even though the session is exhausted.
 	var apiErr struct {
 		Error string `json:"error"`
 	}
-	if st := doJSON(t, "POST", base+"/v1/sessions/"+sess.ID+"/query", queries[0], &apiErr); st != 429 {
+	fresh := map[string]any{"kind": "positive", "params": map[string]any{"coord": 1}}
+	if st := doJSON(t, "POST", base+"/v1/sessions/"+sess.ID+"/query", fresh, &apiErr); st != 429 {
 		t.Fatalf("query past K: status %d (%s), want 429", st, apiErr.Error)
+	}
+	var cachedRes QueryResult
+	if st := doJSON(t, "POST", base+"/v1/sessions/"+sess.ID+"/query", queries[0], &cachedRes); st != 200 || !cachedRes.Cached || cachedRes.EpsSpent != 0 {
+		t.Fatalf("cached repeat past K: status %d, %+v; want 200 cached zero-spend", st, cachedRes)
 	}
 
 	// The transcript shows every event and the cumulative privacy spend.

@@ -22,6 +22,18 @@
 // session or shutting the manager down is permanent; closed sessions keep
 // serving status and transcript reads so audits survive the session.
 //
+// The read path exploits that a released answer is public information:
+// each session caches every answer under its query's canonical spec key
+// (convex.CanonicalKey), and a repeat of the same canonical query is
+// re-released from the cache as pure post-processing — zero budget, no
+// noise-stream movement, no transcript growth, no K consumption, lock-free
+// with respect to the session mutex, and still working after the budget is
+// exhausted. Session.QueryBatch (and the queries:batch endpoint) answers
+// many specs per round trip: cache hits resolve read-only and concurrently,
+// misses run in deterministic submission order with one write-ahead
+// checkpoint per batch, and the result is answer-, budget-, and
+// transcript-equivalent to sequential Query calls.
+//
 // How spends compose is per-session: SessionParams.Accountant names a
 // strategy from the internal/mech registry ("advanced" DRV10 by default;
 // "zcdp" composes Gaussian-noise oracle calls in ρ and sustains a larger

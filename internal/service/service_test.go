@@ -48,6 +48,16 @@ func countingSpec(coord int) convex.Spec {
 	}
 }
 
+// distinctSpec returns a cheap linear query whose canonical key is unique
+// per i — for tests that must drive the mechanism on every call, now that
+// repeats of one spec are served from the session answer cache.
+func distinctSpec(i int) convex.Spec {
+	return convex.Spec{
+		Kind:   "halfspace",
+		Params: json.RawMessage(fmt.Sprintf(`{"w":[1,0,0],"threshold":%g}`, 0.001*float64(i+1))),
+	}
+}
+
 func TestSessionLifecycle(t *testing.T) {
 	m := testManager(t, Limits{})
 	s, err := m.CreateSession(SessionParams{K: 5})
@@ -180,12 +190,18 @@ func TestBudgetExhaustionIsTyped(t *testing.T) {
 			t.Fatalf("query %d: %v", i+1, err)
 		}
 	}
-	_, err = s.Query(countingSpec(0))
+	_, err = s.Query(distinctSpec(0))
 	if !errors.Is(err, ErrBudgetExhausted) {
 		t.Fatalf("query past K error = %v, want ErrBudgetExhausted", err)
 	}
 	if st := s.Status(); !st.Exhausted {
 		t.Fatalf("status after exhaustion = %+v, want Exhausted", st)
+	}
+	// A repeat of an already-answered query is post-processing: it keeps
+	// working from the cache even on an exhausted session.
+	res, err := s.Query(countingSpec(0))
+	if err != nil || !res.Cached {
+		t.Fatalf("cached repeat after exhaustion = %+v, %v; want cached answer", res, err)
 	}
 	// Exhaustion is not closure: the slot stays open until Close.
 	if st := s.Status(); st.Closed {
@@ -268,7 +284,7 @@ func TestConcurrentDistinctSessions(t *testing.T) {
 		go func(i int, s *Session) {
 			defer wg.Done()
 			for q := 0; q < queriesEach; q++ {
-				if _, err := s.Query(countingSpec(q % 3)); err != nil {
+				if _, err := s.Query(distinctSpec(q)); err != nil {
 					errs[i] = fmt.Errorf("session %s query %d: %w", s.ID(), q+1, err)
 					return
 				}
@@ -309,7 +325,7 @@ func TestConcurrentSharedSession(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for q := 0; q < attemptsEach; q++ {
-				_, err := s.Query(countingSpec((w + q) % 3))
+				_, err := s.Query(distinctSpec(w*attemptsEach + q))
 				mu.Lock()
 				switch {
 				case err == nil:

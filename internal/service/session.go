@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/convex"
@@ -15,14 +16,30 @@ import (
 
 // Session is one analyst's interactive run of the mechanism: a core.Server
 // plus the ledger and transcript around it. A core.Server is inherently
-// sequential, so every operation that touches it serializes on the
+// sequential, so every operation that drives it serializes on the
 // session's mutex; distinct sessions never contend.
+//
+// The read path around the mechanism is concurrent. Every released answer
+// enters the session's answer cache, keyed by the query's canonical spec
+// (convex.CanonicalKey); a repeat of the same canonical query is answered
+// from the cache — pure post-processing of already-released information,
+// spending zero budget, advancing no noise stream, and (once the entry's
+// spend is durable) never taking the session mutex, so cache hits proceed
+// even while a miss holds the mechanism. On a durable manager a ⊤
+// answer's entry is gated until its write-ahead checkpoint lands
+// (cacheEntry.gateSeq), so the cache can never leak an answer whose spend
+// is not yet on disk. The cache is rebuilt from the transcript on
+// restore, so the zero-spend property survives snapshot/restart.
 //
 // When the manager is durable (Config.Store), the session checkpoints its
 // complete state — mechanism snapshot, ledger, transcript — to its state
 // file: on creation, on every ⊤ answer (write-ahead: the spend reaches disk
 // before the answer reaches the analyst, so a crash can lose a ⊥-only tail
-// but never a recorded budget spend), on Checkpoint, and on Close.
+// but never a recorded budget spend), on Checkpoint, and on Close. The
+// state is assembled under the session mutex but written under a separate
+// save mutex, so status, transcript, and cache reads never block on fsync;
+// a per-state sequence number keeps concurrent writers from clobbering a
+// newer checkpoint with an older one.
 type Session struct {
 	id      string
 	params  SessionParams
@@ -35,9 +52,61 @@ type Session struct {
 	// outside the state mutex, when the session closes.
 	onClose func()
 
-	mu     sync.Mutex
-	rec    *transcript.Recorder
-	closed bool
+	mu  sync.Mutex
+	rec *transcript.Recorder
+
+	// closed flips once, under mu; it is atomic so the lock-free cache-hit
+	// path can observe it without waiting on an in-flight miss.
+	closed atomic.Bool
+
+	// view is the lock-free ledger snapshot served with cache-hit answers,
+	// republished under mu after every state change.
+	view atomic.Pointer[ledgerView]
+
+	// cache is the answer cache: canonical spec key → released answer.
+	// Entries are immutable once inserted; the first answer for a key wins
+	// (later identical queries never reach the mechanism).
+	cache struct {
+		sync.RWMutex
+		m map[string]*cacheEntry
+	}
+
+	// saveMu serializes durable writes outside mu. savedSeq (guarded by
+	// saveMu) is the transcript length of the newest state on disk:
+	// query-path saves are skipped when a newer superset state is already
+	// durable, which keeps the write-ahead guarantee while letting an
+	// overtaken writer return immediately. durableSeq mirrors savedSeq
+	// atomically for the lock-free cache-hit path: a ⊤ answer's cache
+	// entry is only served once its spend is durable (see servable).
+	saveMu     sync.Mutex
+	savedSeq   int
+	durableSeq atomic.Int64
+}
+
+// cacheEntry is one released answer, immutable once cached. gateSeq is 0
+// for answers that may be re-released unconditionally (⊥ answers, which
+// spend nothing; entries rebuilt from an on-disk transcript; everything on
+// a memory-only manager) and the transcript seq of the entry's ⊤ event
+// otherwise: the entry is served only once the durable watermark covers
+// that seq, so the write-ahead rule — spend on disk before the answer is
+// released — holds on the cache path too.
+type cacheEntry struct {
+	loss    string
+	answer  []float64
+	gateSeq int
+}
+
+// servable reports whether a cache entry may be released right now.
+func (s *Session) servable(e *cacheEntry) bool {
+	return e.gateSeq == 0 || s.store == nil || s.durableSeq.Load() >= int64(e.gateSeq)
+}
+
+// ledgerView is the point-in-time ledger snapshot cache hits report
+// without taking the session mutex.
+type ledgerView struct {
+	epsRemaining, deltaRemaining float64
+	queriesUsed, updatesUsed     int
+	updatesMax                   int
 }
 
 func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store *persist.Store, onClose func()) *Session {
@@ -46,7 +115,7 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 	rec.T.Meta["delta"] = p.Delta
 	rec.T.Meta["alpha"] = p.Alpha
 	rec.T.Meta["k"] = float64(p.K)
-	return &Session{
+	s := &Session{
 		id:      id,
 		params:  p,
 		u:       u,
@@ -56,12 +125,18 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 		onClose: onClose,
 		rec:     rec,
 	}
+	s.cache.m = map[string]*cacheEntry{}
+	s.publishViewLocked()
+	return s
 }
 
 // restoreSession rebuilds a Session around an already-restored recorder
-// (server + transcript), carrying over identity and the closed flag.
+// (server + transcript), carrying over identity and the closed flag. The
+// answer cache is rebuilt from the transcript's recorded cache keys, so a
+// query already answered before the restart stays a zero-spend repeat
+// after it.
 func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store *persist.Store, onClose func()) *Session {
-	return &Session{
+	s := &Session{
 		id:      st.ID,
 		params:  p,
 		u:       u,
@@ -70,8 +145,40 @@ func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.R
 		store:   store,
 		onClose: onClose,
 		rec:     rec,
-		closed:  st.Closed,
 	}
+	s.closed.Store(st.Closed)
+	s.cache.m = map[string]*cacheEntry{}
+	for _, ev := range rec.T.Events {
+		if ev.CacheKey == "" {
+			continue
+		}
+		if _, dup := s.cache.m[ev.CacheKey]; dup {
+			// First answer wins, exactly as the live insert-on-miss path
+			// behaves (a duplicate event can only predate the cache).
+			continue
+		}
+		// gateSeq 0: these events came off disk, so they are durable by
+		// construction.
+		s.cache.m[ev.CacheKey] = &cacheEntry{loss: ev.Query, answer: ev.Answer}
+	}
+	s.savedSeq = len(rec.T.Events)
+	s.durableSeq.Store(int64(len(rec.T.Events)))
+	s.publishViewLocked()
+	return s
+}
+
+// publishViewLocked refreshes the lock-free ledger view (called under mu,
+// or from a constructor before the session is shared).
+func (s *Session) publishViewLocked() {
+	srv := s.rec.Srv
+	rem := srv.Remaining()
+	s.view.Store(&ledgerView{
+		epsRemaining:   rem.Eps,
+		deltaRemaining: rem.Delta,
+		queriesUsed:    srv.Answered(),
+		updatesUsed:    srv.Updates(),
+		updatesMax:     srv.Params().T,
+	})
 }
 
 // stateLocked assembles the session's durable state (called under mu).
@@ -83,7 +190,7 @@ func (s *Session) stateLocked() (*persist.SessionState, error) {
 	return &persist.SessionState{
 		ID:         s.id,
 		Created:    s.created,
-		Closed:     s.closed,
+		Closed:     s.closed.Load(),
 		Oracle:     s.oracle,
 		Params:     raw,
 		Core:       s.rec.Srv.Snapshot(),
@@ -91,20 +198,31 @@ func (s *Session) stateLocked() (*persist.SessionState, error) {
 	}, nil
 }
 
-// saveLocked checkpoints the session to its state file (called under mu;
-// no-op without a store). Holding the mutex across the write is deliberate:
-// the snapshot and the file must agree, and state files are small.
-func (s *Session) saveLocked() error {
+// save writes an already-assembled state to the session's state file,
+// outside the session mutex (no-op without a store). seq is the state's
+// transcript length. A state strictly older than what is on disk is never
+// written, forced or not: the newer file is a superset of its events, so
+// overwriting it would drop a write-ahead spend whose answer was already
+// released. Non-forced (query-path) saves are also skipped at equal seq —
+// the spend is durable in the existing file; forced saves (Checkpoint,
+// Close, suspend) do write at equal seq because they may change non-event
+// state such as the closed flag. Close/suspend can never be the stale
+// side: they assemble under mu after flipping closed, so no later query
+// can outrun their seq.
+func (s *Session) save(st *persist.SessionState, seq int, force bool) error {
 	if s.store == nil {
 		return nil
 	}
-	st, err := s.stateLocked()
-	if err != nil {
-		return err
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if seq < s.savedSeq || (!force && seq == s.savedSeq) {
+		return nil
 	}
 	if err := s.store.SaveSession(st); err != nil {
 		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
 	}
+	s.savedSeq = seq
+	s.durableSeq.Store(int64(seq))
 	return nil
 }
 
@@ -113,12 +231,17 @@ func (s *Session) saveLocked() error {
 // Checkpointing a closed session rewrites its (final) state and is
 // harmless.
 func (s *Session) Checkpoint() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.store == nil {
 		return ErrNotDurable
 	}
-	return s.saveLocked()
+	s.mu.Lock()
+	st, err := s.stateLocked()
+	seq := len(s.rec.T.Events)
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return s.save(st, seq, true)
 }
 
 // ID returns the session identifier.
@@ -152,25 +275,60 @@ type QueryResult struct {
 	QueriesMax  int `json:"queries_max"`
 	UpdatesUsed int `json:"updates_used"`
 	UpdatesMax  int `json:"updates_max"`
+	// Cached reports the answer was re-released from the session's answer
+	// cache: pure post-processing of an already-released answer, spending
+	// zero budget and advancing no noise stream. Cached results report the
+	// latest published ledger view; they never count against K.
+	Cached bool `json:"cached,omitempty"`
 }
 
-// Query resolves spec against the loss registry and answers it. It returns
-// ErrSessionClosed after Close and ErrBudgetExhausted once the session's K
-// queries or T updates are spent.
-func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
-	l, err := convex.Build(s.u, spec)
-	if err != nil {
-		return nil, err
+// cacheGet reads the answer cache (lock-free with respect to the session
+// mutex).
+func (s *Session) cacheGet(key string) *cacheEntry {
+	s.cache.RLock()
+	e := s.cache.m[key]
+	s.cache.RUnlock()
+	return e
+}
+
+// hitResult renders a cached entry as a zero-spend result carrying the
+// latest published ledger view.
+func (s *Session) hitResult(e *cacheEntry) *QueryResult {
+	v := s.view.Load()
+	return &QueryResult{
+		Loss:           e.loss,
+		Answer:         append([]float64(nil), e.answer...),
+		Cached:         true,
+		EpsRemaining:   v.epsRemaining,
+		DeltaRemaining: v.deltaRemaining,
+		QueriesUsed:    v.queriesUsed,
+		QueriesMax:     s.params.K,
+		UpdatesUsed:    v.updatesUsed,
+		UpdatesMax:     v.updatesMax,
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+}
+
+// lookupCached serves spec's canonical key from the answer cache without
+// taking the session mutex. It returns (nil, nil) on a miss — including
+// an entry whose ⊤ spend is not durable yet, which must take the locked
+// path so the release waits behind the write-ahead save — and
+// ErrSessionClosed for any query to a closed session, hit or not.
+func (s *Session) lookupCached(key string) (*QueryResult, error) {
+	if s.closed.Load() {
 		return nil, ErrSessionClosed
 	}
-	if s.rec.Srv.Halted() {
-		return nil, ErrBudgetExhausted
+	e := s.cacheGet(key)
+	if e == nil || !s.servable(e) {
+		return nil, nil
 	}
-	theta, err := s.rec.Answer(l)
+	return s.hitResult(e), nil
+}
+
+// answerLocked drives one mechanism query under mu: answers l, records the
+// keyed transcript event, caches the released answer, and refreshes the
+// ledger view. The caller owns halt/closed checks and durability.
+func (s *Session) answerLocked(l convex.Loss, key string) (*QueryResult, error) {
+	theta, err := s.rec.AnswerKeyed(l, key)
 	if err == core.ErrHalted {
 		return nil, ErrBudgetExhausted
 	}
@@ -179,19 +337,20 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 	}
 	srv := s.rec.Srv
 	ev := s.rec.T.Events[len(s.rec.T.Events)-1]
-	if ev.Top {
-		// Write-ahead checkpoint: a ⊤ answer spent budget, so the spend
-		// must reach disk before the reply is sent. On failure the reply is
-		// an error while the in-memory ledger and transcript keep the spend
-		// and the answer (the event stays readable via the transcript
-		// endpoint — it is already-released information and trimming it
-		// would desynchronize transcript and ledger). The guarantee is
-		// about accounting, not secrecy: budget can be over-counted by a
-		// failed reply, never spent without being counted.
-		if err := s.saveLocked(); err != nil {
-			return nil, err
+	if key != "" {
+		// ⊥ answers spend nothing and are releasable immediately; a ⊤
+		// answer's entry is gated on its spend reaching disk.
+		gate := 0
+		if ev.Top && s.store != nil {
+			gate = len(s.rec.T.Events)
 		}
+		s.cache.Lock()
+		if _, dup := s.cache.m[key]; !dup {
+			s.cache.m[key] = &cacheEntry{loss: l.Name(), answer: ev.Answer, gateSeq: gate}
+		}
+		s.cache.Unlock()
 	}
+	s.publishViewLocked()
 	rem := srv.Remaining()
 	return &QueryResult{
 		Loss:           l.Name(),
@@ -207,6 +366,241 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 		UpdatesUsed:    srv.Updates(),
 		UpdatesMax:     srv.Params().T,
 	}, nil
+}
+
+// Query resolves spec against the loss registry and answers it. A repeat
+// of an already-answered canonical query is served from the answer cache:
+// zero budget spend, no noise-stream movement, no session mutex — the
+// mechanism never sees it, so cached repeats keep working even after the
+// budget is exhausted. First-time queries go through the mechanism. Query
+// returns ErrSessionClosed after Close and ErrBudgetExhausted once the
+// session's K queries or T updates are spent.
+func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
+	key, err := convex.CanonicalKey(s.u, spec)
+	if err != nil {
+		return nil, err
+	}
+	if res, err := s.lookupCached(key); err != nil || res != nil {
+		return res, err
+	}
+	l, err := convex.Build(s.u, spec)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed.Load() {
+		s.mu.Unlock()
+		return nil, ErrSessionClosed
+	}
+	// Double-check under the lock: a concurrent miss for the same key may
+	// have just answered it. If that answer's spend is not durable yet
+	// (its writer is mid-fsync, or its write failed), re-drive the
+	// write-ahead save before releasing the bytes — on success the skip
+	// rule makes it a cheap wait behind the in-flight writer, and after a
+	// failed write it is the retry that heals the gate.
+	if hit := s.cacheGet(key); hit != nil {
+		var st *persist.SessionState
+		var seq int
+		if !s.servable(hit) {
+			if st, err = s.stateLocked(); err != nil {
+				s.mu.Unlock()
+				return nil, err
+			}
+			seq = len(s.rec.T.Events)
+		}
+		res := s.hitResult(hit)
+		s.mu.Unlock()
+		if st != nil {
+			if err := s.save(st, seq, false); err != nil {
+				return nil, err
+			}
+		}
+		return res, nil
+	}
+	if s.rec.Srv.Halted() {
+		s.mu.Unlock()
+		return nil, ErrBudgetExhausted
+	}
+	res, err := s.answerLocked(l, key)
+	if err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
+	var st *persist.SessionState
+	var seq int
+	if res.Top && s.store != nil {
+		// Assemble the write-ahead state under mu; the disk write happens
+		// after unlock so reads never wait on fsync.
+		if st, err = s.stateLocked(); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		seq = len(s.rec.T.Events)
+	}
+	s.mu.Unlock()
+	if st != nil {
+		// Write-ahead checkpoint: a ⊤ answer spent budget, so the spend
+		// must reach disk before the reply is sent. On failure the reply is
+		// an error while the in-memory ledger and transcript keep the spend
+		// and the answer (the event stays readable via the transcript
+		// endpoint — it is already-released information and trimming it
+		// would desynchronize transcript and ledger). The guarantee is
+		// about accounting, not secrecy: budget can be over-counted by a
+		// failed reply, never spent without being counted.
+		if err := s.save(st, seq, false); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// BatchItem is one entry of a batch response: exactly one of Result and
+// Error is set. Error strings match what the equivalent sequential Query
+// call would have returned.
+type BatchItem struct {
+	// Result is the item's answer when it succeeded.
+	Result *QueryResult `json:"result,omitempty"`
+	// Error is the item's failure, empty on success.
+	Error string `json:"error,omitempty"`
+}
+
+// QueryBatch answers a batch of queries as one operation. The batch is
+// partitioned against the answer cache: already-cached items are answered
+// read-only, concurrently with the mechanism work; misses are answered in
+// deterministic submission order under one session-mutex hold, with one
+// write-ahead checkpoint for the whole batch instead of one per ⊤ answer
+// (every spend in the batch reaches disk before any of its answers is
+// released). An in-batch repeat of an earlier miss is served from the
+// cache the miss just filled, so a batch is answer-, budget-, and
+// transcript-equivalent to the same specs issued as sequential Query
+// calls. Per-item failures (unknown kinds, malformed params, budget
+// exhaustion mid-batch) are reported in the item, not as a batch error;
+// the returned error is reserved for batch-wide failures (a failed
+// checkpoint withholds the whole batch's answers).
+func (s *Session) QueryBatch(specs []convex.Spec) ([]BatchItem, error) {
+	items := make([]BatchItem, len(specs))
+	keys := make([]string, len(specs))
+	isMiss := make([]bool, len(specs))
+	var missIdx []int
+	for i, spec := range specs {
+		key, err := convex.CanonicalKey(s.u, spec)
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		keys[i] = key
+		// An entry whose spend is not durable yet counts as a miss here:
+		// it must go through the locked phase, whose trailing save gates
+		// its release.
+		if e := s.cacheGet(key); e == nil || !s.servable(e) {
+			isMiss[i] = true
+			missIdx = append(missIdx, i)
+		}
+	}
+	// Misses run through the mechanism on their own goroutine while the
+	// pre-partitioned hits are resolved read-only here; the two sides write
+	// disjoint items.
+	done := make(chan error, 1)
+	go func() { done <- s.answerMisses(specs, keys, missIdx, items) }()
+	for i := range specs {
+		// Miss items belong to the goroutine above; canonicalization
+		// failures (keys[i] == "") already carry their error. Only the
+		// pre-partitioned hits are touched here — the two sides write
+		// disjoint items.
+		if isMiss[i] || keys[i] == "" {
+			continue
+		}
+		res, err := s.lookupCached(keys[i])
+		if err != nil {
+			items[i].Error = err.Error()
+		} else {
+			items[i].Result = res
+		}
+	}
+	if err := <-done; err != nil {
+		return nil, err
+	}
+	return items, nil
+}
+
+// answerMisses is QueryBatch's mechanism phase: every non-cached item, in
+// submission order, under one mutex hold and one trailing write-ahead
+// checkpoint.
+func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int, items []BatchItem) error {
+	if len(missIdx) == 0 {
+		return nil
+	}
+	// Build the miss losses before taking the lock: construction
+	// enumerates the public universe and needs no session state. One build
+	// per distinct canonical key — in-batch duplicates resolve as cache
+	// hits below, so building every occurrence would be wasted universe
+	// sweeps. A build failure is reported on each occurrence, exactly as
+	// the sequential path would report it.
+	type built struct {
+		loss convex.Loss
+		err  error
+	}
+	byKey := make(map[string]built, len(missIdx))
+	for _, i := range missIdx {
+		if _, done := byKey[keys[i]]; done {
+			continue
+		}
+		l, err := convex.Build(s.u, specs[i])
+		byKey[keys[i]] = built{loss: l, err: err}
+	}
+	s.mu.Lock()
+	needSave := false
+	for _, i := range missIdx {
+		b := byKey[keys[i]]
+		if b.err != nil {
+			items[i].Error = b.err.Error()
+			continue
+		}
+		if s.closed.Load() {
+			items[i].Error = ErrSessionClosed.Error()
+			continue
+		}
+		// An earlier miss in this batch (or a concurrent request) may have
+		// been this item's first occurrence; serve the repeat from the
+		// cache it filled, exactly as a sequential Query would. An entry
+		// whose spend is not durable yet may be used *inside* the batch —
+		// its release is gated by the trailing save below.
+		if hit := s.cacheGet(keys[i]); hit != nil {
+			if !s.servable(hit) {
+				needSave = true
+			}
+			items[i].Result = s.hitResult(hit)
+			continue
+		}
+		if s.rec.Srv.Halted() {
+			items[i].Error = ErrBudgetExhausted.Error()
+			continue
+		}
+		res, err := s.answerLocked(b.loss, keys[i])
+		if err != nil {
+			items[i].Error = err.Error()
+			continue
+		}
+		if res.Top {
+			needSave = true
+		}
+		items[i].Result = res
+	}
+	var st *persist.SessionState
+	var seq int
+	var stErr error
+	if needSave && s.store != nil {
+		st, stErr = s.stateLocked()
+		seq = len(s.rec.T.Events)
+	}
+	s.mu.Unlock()
+	if stErr != nil {
+		return stErr
+	}
+	if st != nil {
+		return s.save(st, seq, false)
+	}
+	return nil
 }
 
 // SessionStatus is a point-in-time snapshot of a session's ledger.
@@ -256,7 +650,7 @@ func (s *Session) Status() SessionStatus {
 	return SessionStatus{
 		ID:             s.id,
 		Created:        s.created,
-		Closed:         s.closed,
+		Closed:         s.closed.Load(),
 		Exhausted:      srv.Halted(),
 		QueriesUsed:    srv.Answered(),
 		QueriesMax:     s.params.K,
@@ -319,15 +713,25 @@ func (s *Session) TranscriptJSON() ([]byte, error) {
 // Closing twice returns ErrSessionClosed.
 func (s *Session) Close() error {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return ErrSessionClosed
 	}
-	s.closed = true
-	saveErr := s.saveLocked()
+	s.closed.Store(true)
+	var st *persist.SessionState
+	var seq int
+	var stErr error
+	if s.store != nil {
+		st, stErr = s.stateLocked()
+		seq = len(s.rec.T.Events)
+	}
 	cb := s.onClose
 	s.onClose = nil
 	s.mu.Unlock()
+	saveErr := stErr
+	if saveErr == nil && st != nil {
+		saveErr = s.save(st, seq, true)
+	}
 	if cb != nil {
 		cb()
 	}
@@ -340,18 +744,29 @@ func (s *Session) Close() error {
 // exactly where it stopped. Already-closed sessions are left alone.
 func (s *Session) suspend() {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed.Load() {
 		s.mu.Unlock()
 		return
 	}
-	// Best-effort: shutdown must not wedge on a full disk; the last
-	// ⊤-answer checkpoint is still on disk, so at worst a ⊥-only tail of
-	// the interaction is lost.
-	_ = s.saveLocked()
-	s.closed = true
+	// The suspend state is assembled *before* the closed flag flips, so
+	// the state file keeps Closed=false and the next start resumes the
+	// session live.
+	var st *persist.SessionState
+	var seq int
+	if s.store != nil {
+		st, _ = s.stateLocked()
+		seq = len(s.rec.T.Events)
+	}
+	s.closed.Store(true)
 	cb := s.onClose
 	s.onClose = nil
 	s.mu.Unlock()
+	if st != nil {
+		// Best-effort: shutdown must not wedge on a full disk; the last
+		// ⊤-answer checkpoint is still on disk, so at worst a ⊥-only tail
+		// of the interaction is lost.
+		_ = s.save(st, seq, true)
+	}
 	if cb != nil {
 		cb()
 	}

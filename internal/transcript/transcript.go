@@ -44,6 +44,13 @@ type Event struct {
 	// cumulative spend, not a per-event increment.
 	CumEps   float64 `json:"cum_eps"`
 	CumDelta float64 `json:"cum_delta"`
+	// CacheKey is the query's canonical spec key (convex.CanonicalKey)
+	// when the exchange was driven from a serialized Spec. It lets an
+	// answer cache be rebuilt from the transcript alone: re-releasing a
+	// recorded answer for the same canonical query is pure post-processing
+	// and spends nothing. Empty for exchanges recorded from bare Loss
+	// values (the experiment games).
+	CacheKey string `json:"cache_key,omitempty"`
 }
 
 // Transcript is a complete recorded interaction.
@@ -138,6 +145,14 @@ func NewRecorder(srv *core.Server) *Recorder {
 // Answer forwards to the server and records the exchange. A halt is
 // recorded on the transcript and returned unchanged.
 func (r *Recorder) Answer(l convex.Loss) ([]float64, error) {
+	return r.AnswerKeyed(l, "")
+}
+
+// AnswerKeyed records like Answer and stamps the event with the query's
+// canonical cache key (convex.CanonicalKey of the spec that named l), so
+// answer caches can be rebuilt from the transcript after a restore. An
+// empty key records a plain event.
+func (r *Recorder) AnswerKeyed(l convex.Loss, cacheKey string) ([]float64, error) {
 	before := r.Srv.Updates()
 	theta, err := r.Srv.Answer(l)
 	if err != nil {
@@ -147,7 +162,7 @@ func (r *Recorder) Answer(l convex.Loss) ([]float64, error) {
 		return nil, err
 	}
 	top := r.Srv.Updates() > before
-	ev := Event{Query: l.Name(), Answer: append([]float64(nil), theta...), Top: top}
+	ev := Event{Query: l.Name(), Answer: append([]float64(nil), theta...), Top: top, CacheKey: cacheKey}
 	if top {
 		cost := r.Srv.CallCost()
 		ev.EpsSpent = cost.Eps

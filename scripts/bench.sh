@@ -17,16 +17,33 @@
 # overhead and Total() latency per accountant, which sit on the serving hot
 # path (one Spend per ⊤ answer, one Total per status read). Restrict with
 #   BENCH=Accountant scripts/bench.sh
+#
+# Micro mode — the CI perf-regression gate's protocol:
+#   scripts/bench.sh micro              # writes BENCH_micro_baseline.json
+#   OUT=bench_micro_current.json scripts/bench.sh micro
+# runs only the mech + convex micro-benchmarks at a time-based -benchtime
+# (default 0.2s), long enough per benchmark that ns/op is stable; compare
+# runs with `go run ./scripts/benchdiff`. Regenerate (and commit) the
+# baseline when the protocol or the reference hardware changes.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-BENCHTIME="${BENCHTIME:-1x}"
+MODE="${1:-full}"
 BENCH="${BENCH:-.}"
-OUT="BENCH_$(date +%F).json"
+if [ "$MODE" = "micro" ]; then
+	BENCHTIME="${BENCHTIME:-0.2s}"
+	OUT="${OUT:-BENCH_micro_baseline.json}"
+	PKGS="./internal/mech ./internal/convex"
+else
+	BENCHTIME="${BENCHTIME:-1x}"
+	OUT="${OUT:-BENCH_$(date +%F).json}"
+	PKGS="./..."
+fi
 
-echo "bench: pattern=$BENCH benchtime=$BENCHTIME -> $OUT" >&2
-go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -json ./... > "$OUT"
+echo "bench: mode=$MODE pattern=$BENCH benchtime=$BENCHTIME -> $OUT" >&2
+# shellcheck disable=SC2086 # PKGS is a deliberate word list
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -json $PKGS > "$OUT"
 
 # Human-readable summary to stderr.
 grep -o '"Output":"Benchmark[^"]*"' "$OUT" \

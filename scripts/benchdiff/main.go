@@ -1,0 +1,196 @@
+// Command benchdiff is the perf-regression gate: it compares the ns/op of
+// two `go test -json` benchmark result files (a committed baseline and the
+// current run) and fails when a gated package's benchmark regressed beyond
+// the threshold.
+//
+// Usage:
+//
+//	go run ./scripts/benchdiff -baseline BENCH_micro_baseline.json -current bench_micro_current.json
+//	go run ./scripts/benchdiff -baseline old.json -current new.json -gate ''   # report-only
+//
+// Only packages in -gate (default: the accountant and convex-kernel
+// micro-benchmarks, which sit on the serving hot path and run long enough
+// to be stable) can fail the build; everything else — including the
+// wall-clock-noisy Table1 end-to-end benchmarks — is report-only.
+// Benchmarks present in only one file are reported, never failed: new
+// benchmarks must not need a baseline update to land, and CPU-count name
+// suffixes ("-8") are stripped so baselines port across machines.
+//
+// The committed baseline is regenerated with `scripts/bench.sh micro`;
+// regenerate it when the benchmark protocol or the reference hardware
+// changes, and say so in the commit.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of `go test -json` events benchdiff reads.
+type event struct {
+	Action  string `json:"Action"`
+	Package string `json:"Package"`
+	Output  string `json:"Output"`
+}
+
+// result is one benchmark's aggregated timing.
+type result struct {
+	pkg   string
+	nsPer float64
+	runs  int
+}
+
+// procSuffix matches the trailing "-<GOMAXPROCS>" Go appends to benchmark
+// names; stripping it lets a 1-core baseline compare against an 8-core run.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// nsPerOp scans a benchmark-output field list for the value preceding an
+// "ns/op" unit.
+func nsPerOp(fields []string) (float64, bool) {
+	for i, f := range fields {
+		if f == "ns/op" && i > 0 {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			return v, err == nil
+		}
+	}
+	return 0, false
+}
+
+// parse reads a go test -json file into benchmark name → result, averaging
+// repeated runs (-count > 1). test2json often splits one benchmark across
+// two output events — the name first, the "<iterations> <value> ns/op"
+// line after — so a name without a result is held pending per package
+// until its result line arrives.
+func parse(path string) (map[string]result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[string]result{}
+	pending := map[string]string{} // package → benchmark name awaiting results
+	record := func(pkg, name string, nsPer float64) {
+		r := out[name]
+		r.pkg = pkg
+		r.nsPer = (r.nsPer*float64(r.runs) + nsPer) / float64(r.runs+1)
+		r.runs++
+		out[name] = r
+	}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			continue // tolerate non-JSON noise (plain `go test -bench` logs)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		if len(fields) == 0 {
+			continue
+		}
+		if strings.HasPrefix(ev.Output, "Benchmark") && fields[0] != "Benchmark" {
+			name := procSuffix.ReplaceAllString(fields[0], "")
+			if ns, ok := nsPerOp(fields); ok {
+				// Single-line form: name and results in one write.
+				delete(pending, ev.Package)
+				record(ev.Package, name, ns)
+			} else {
+				pending[ev.Package] = name
+			}
+			continue
+		}
+		if name := pending[ev.Package]; name != "" {
+			if ns, ok := nsPerOp(fields); ok {
+				delete(pending, ev.Package)
+				record(ev.Package, name, ns)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed go test -json baseline file")
+	current := flag.String("current", "", "go test -json file of the current run")
+	threshold := flag.Float64("threshold", 1.25, "max allowed current/baseline ns/op ratio in gated packages (1.25 = +25%)")
+	gate := flag.String("gate", "repro/internal/mech,repro/internal/convex", "comma-separated packages whose regressions fail the build ('' = report-only)")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := parse(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading baseline: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := parse(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: reading current: %v\n", err)
+		os.Exit(2)
+	}
+
+	gated := map[string]bool{}
+	for _, p := range strings.Split(*gate, ",") {
+		if p != "" {
+			gated[p] = true
+		}
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var regressions []string
+	fmt.Printf("%-60s %14s %14s %9s  %s\n", "benchmark", "baseline ns/op", "current ns/op", "delta", "status")
+	for _, name := range names {
+		c := cur[name]
+		b, ok := base[name]
+		if !ok {
+			fmt.Printf("%-60s %14s %14.1f %9s  new (no baseline)\n", name, "-", c.nsPer, "-")
+			continue
+		}
+		ratio := c.nsPer / b.nsPer
+		delta := fmt.Sprintf("%+.1f%%", 100*(ratio-1))
+		status := "ok"
+		switch {
+		case !gated[c.pkg]:
+			status = "report-only"
+		case ratio > *threshold:
+			status = "REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %.1f → %.1f ns/op (%s, limit %+.0f%%)", name, b.nsPer, c.nsPer, delta, 100*(*threshold-1)))
+		}
+		fmt.Printf("%-60s %14.1f %14.1f %9s  %s\n", name, b.nsPer, c.nsPer, delta, status)
+	}
+	for name := range base {
+		if _, ok := cur[name]; !ok {
+			fmt.Printf("%-60s removed (in baseline, not in current run)\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbenchdiff: %d gated regression(s) beyond %.0f%%:\n", len(regressions), 100*(*threshold-1))
+		for _, r := range regressions {
+			fmt.Fprintln(os.Stderr, "  "+r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no gated regressions")
+}
