@@ -34,7 +34,8 @@ func loadtestCmd(args []string) error {
 	seed := fs.Int64("seed", 0, "query-stream seed (default 1)")
 	out := fs.String("out", "-", "report destination ('-' = stdout)")
 	minHits := fs.Int("min-hits", 0, "fail unless the run served at least this many cache hits")
-	max5xx := fs.Int("max-5xx", -1, "fail if the run saw more than this many HTTP 5xx responses (-1 = no gate)")
+	max5xx := fs.Int("max-5xx", -1, "fail if the run saw more than this many HTTP 5xx responses (-1 = no gate; with -check-metrics the server's own 5xx counter is gated too)")
+	checkMetrics := fs.Bool("check-metrics", false, "fail unless the server's /metrics counter deltas agree with this report (requires the run to be the server's only query traffic)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -122,12 +123,30 @@ func loadtestCmd(args []string) error {
 	fmt.Fprintf(os.Stderr, "pmwcm loadtest: %d req (%.0f rps), %d queries (%.0f qps), hit rate %.1f%%, p50 %.2fms p99 %.2fms, 5xx %d\n",
 		rep.Requests, rep.ThroughputRPS, rep.Queries, rep.ThroughputQPS,
 		100*rep.CacheHitRate, rep.Latency.P50, rep.Latency.P99, rep.Status5xx)
+	if s := rep.Server; s != nil && s.Supported {
+		fmt.Fprintf(os.Stderr, "pmwcm loadtest: server metrics: %d queries (%d hits, %d tops, %d bottoms), 5xx %d\n",
+			s.Queries, s.CacheHits, s.Tops, s.Bottoms, s.Status5xx)
+	}
 
 	if *minHits > 0 && rep.CacheHits < *minHits {
 		return fmt.Errorf("loadtest gate: %d cache hits < required %d", rep.CacheHits, *minHits)
 	}
-	if *max5xx >= 0 && rep.Status5xx > *max5xx {
-		return fmt.Errorf("loadtest gate: %d HTTP 5xx responses > allowed %d", rep.Status5xx, *max5xx)
+	if *max5xx >= 0 {
+		worst := rep.Status5xx
+		if *checkMetrics && rep.Server != nil && rep.Server.Supported && rep.Server.Status5xx > worst {
+			// The server's own counter sees faults on requests the client
+			// never tallied (cut-offs, transport errors).
+			worst = rep.Server.Status5xx
+		}
+		if worst > *max5xx {
+			return fmt.Errorf("loadtest gate: %d HTTP 5xx responses > allowed %d", worst, *max5xx)
+		}
+	}
+	if *checkMetrics {
+		if err := rep.CheckServerConsistency(); err != nil {
+			return fmt.Errorf("loadtest gate: %w", err)
+		}
+		fmt.Fprintln(os.Stderr, "pmwcm loadtest: server metrics consistent with client report")
 	}
 	return nil
 }

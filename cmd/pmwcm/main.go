@@ -11,16 +11,20 @@
 //	pmwcm serve -addr :8787    # serve the interactive query API
 //	pmwcm serve -state-dir st  # …with durable sessions across restarts
 //	pmwcm loadtest -duration 5 # drive a running serve with a load scenario
+//	pmwcm version              # print the build's version and VCS revision
 //
 // Each experiment prints a table plus the paper's predicted shape. The
 // serve subcommand hosts the session-based HTTP/JSON query API of
 // internal/service; with -state-dir every session checkpoints its budget
-// state through internal/persist and survives restarts. The loadtest
+// state through internal/persist and survives restarts, and every serve
+// exposes metrics on GET /metrics plus structured request logs
+// (-log-level, -log-format) through internal/obs. The loadtest
 // subcommand replays a configurable workload mix (internal/loadgen)
 // against a running serve and emits a latency/throughput/cache-hit JSON
-// report — CI runs it as the load smoke gate. See DESIGN.md for the
-// package inventory and README.md for a worked curl session, the serve
-// operations guide, and the loadtest guide.
+// report — CI runs it as the load smoke gate, with -check-metrics
+// asserting the server's own counters agree with the client report. See
+// DESIGN.md for the package inventory and README.md for a worked curl
+// session, the serve operations guide, and the loadtest guide.
 package main
 
 import (
@@ -32,6 +36,7 @@ import (
 
 	"repro/internal/expts"
 	"repro/internal/mech"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -66,6 +71,8 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmwcm:", err)
 			os.Exit(1)
 		}
+	case "version", "-version", "--version":
+		fmt.Println(obs.Version().String())
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -84,12 +91,13 @@ func usage() {
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
               [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]
-              [-state-dir DIR]
+              [-state-dir DIR] [-log-level info] [-log-format text|json]
   pmwcm loadtest [-url http://127.0.0.1:8787] [-scenario file.json]
               [-mode closed|open] [-duration SEC] [-sessions N]
               [-concurrency C] [-rate R] [-batch B] [-hot RATIO]
               [-hotkeys H] [-accountants a,b] [-k K] [-out report.json]
-              [-min-hits N] [-max-5xx N]`)
+              [-min-hits N] [-max-5xx N] [-check-metrics]
+  pmwcm version`)
 }
 
 func runCmd(args []string) error {

@@ -5,11 +5,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -17,15 +19,48 @@ import (
 	"repro/internal/dataio"
 	"repro/internal/dataset"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/universe"
+	"repro/internal/xeval"
 )
+
+// buildLogger constructs the serve command's slog logger from the
+// -log-level and -log-format flags.
+func buildLogger(level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch strings.ToLower(level) {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn", "warning":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (have debug, info, warn, error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(os.Stderr, opts)
+	case "json":
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (have text, json)", format)
+	}
+	return slog.New(h), nil
+}
 
 // serveCmd starts the interactive query-serving subsystem: it loads (or
 // synthesizes) a private dataset over a labeled-grid universe, then serves
 // the session-based HTTP/JSON API of internal/service until interrupted.
+// Observability is always on: every request is counted and logged through
+// internal/obs, and GET /metrics exposes the registry.
 func serveCmd(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
 	addr := fs.String("addr", ":8787", "listen address")
@@ -59,7 +94,14 @@ func serveCmd(args []string) error {
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
 	stateDir := fs.String("state-dir", "", "session state directory: sessions checkpoint on every budget spend and on shutdown, and are restored on startup (empty = memory only; budget state dies with the process)")
+	logLevel := fs.String("log-level", "info", "request/startup log level (debug, info, warn, error)")
+	logFormat := fs.String("log-format", "text", "log output format (text, json)")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
 		return err
 	}
 
@@ -105,6 +147,17 @@ func serveCmd(args []string) error {
 			return err
 		}
 	}
+	// The metrics registry observes everything but perturbs nothing: the
+	// served answers are bit-identical with or without it. The xeval
+	// observer feeds universe-sweep durations labeled by worker count.
+	reg := obs.NewRegistry()
+	xeval.SetObserver(func(chunks, workers int, seconds float64) {
+		reg.Histogram("pmwcm_xeval_sweep_seconds",
+			"Universe-sweep duration in seconds, by effective worker count.",
+			obs.DefBuckets, obs.Labels{"workers": strconv.Itoa(workers)}).Observe(seconds)
+	})
+	defer xeval.SetObserver(nil)
+
 	mgr, err := service.New(service.Config{
 		Data:   data,
 		Source: src.Split(),
@@ -116,24 +169,31 @@ func serveCmd(args []string) error {
 			Workers:    *workers,
 			Accountant: *accountant,
 		},
-		Limits: service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
-		Store:  store,
+		Limits:  service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
+		Store:   store,
+		Metrics: reg,
 	})
 	if err != nil {
 		return err
 	}
+	logger.Info("starting", "version", obs.Version().String())
 	if store != nil {
-		fmt.Fprintf(os.Stderr, "pmwcm serve: state dir %s, restored %d live session(s)\n",
-			store.Dir(), mgr.OpenSessions())
+		logger.Info("state directory opened", "dir", store.Dir(), "restored_live_sessions", mgr.OpenSessions())
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	srv := &http.Server{Handler: service.NewHandler(mgr)}
-	fmt.Fprintf(os.Stderr, "pmwcm serve: listening on %s (n=%d, %s, oracle=%s, accountant=%s, workers=%d, defaults ε=%g δ=%g α=%g K=%d)\n",
-		ln.Addr(), data.N(), g.String(), oracle.Name(), mgr.Defaults().Accountant, *workers, *eps, *delta, *alpha, *k)
+	handler := obs.Middleware(reg, service.NewHandler(mgr), obs.MiddlewareOptions{
+		Logger:      logger,
+		SessionInfo: mgr.SessionAccountant,
+	})
+	srv := &http.Server{Handler: handler}
+	logger.Info("listening",
+		"addr", ln.Addr().String(), "n", data.N(), "universe", g.String(),
+		"oracle", oracle.Name(), "accountant", mgr.Defaults().Accountant, "workers", *workers,
+		"eps", *eps, "delta", *delta, "alpha", *alpha, "k", *k)
 
 	// Graceful shutdown: stop accepting, drain in-flight requests, then
 	// suspend every session — with -state-dir each live session is
@@ -147,7 +207,7 @@ func serveCmd(args []string) error {
 		mgr.Shutdown()
 		return err
 	case sig := <-sigCh:
-		fmt.Fprintf(os.Stderr, "pmwcm serve: %v, shutting down\n", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		err := srv.Shutdown(ctx)

@@ -21,6 +21,12 @@
 // zero-spend answer cache (budget and noise streams untouched), and the
 // spec canonicalization means any spelling of the same query instance
 // hits the same cache entry.
+//
+// Part 4 demonstrates the observability layer: the server's GET /metrics
+// endpoint is scraped over HTTP, the cache-hit counter is asserted to
+// move when a query repeats, and the per-session spend gauge is asserted
+// to agree exactly with the session status endpoint — metrics observe the
+// ledger, they never move it.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"os"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/sample"
 	"repro/internal/service"
@@ -43,6 +50,7 @@ func main() {
 	interactiveDemo()
 	durableDemo()
 	readPathDemo()
+	metricsDemo()
 }
 
 func interactiveDemo() {
@@ -196,6 +204,11 @@ func newWorld(seed int64, dir string) (*service.Manager, *http.Server, string) {
 		}
 		cfg.Store = store
 	}
+	// Every world gets a metrics registry and the request-metrics
+	// middleware, exactly as `pmwcm serve` wires them. Part 2's
+	// bit-identity assertions still hold: metrics observe the mechanism,
+	// they never perturb it.
+	cfg.Metrics = obs.NewRegistry()
 	mgr, err := service.New(cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -204,7 +217,8 @@ func newWorld(seed int64, dir string) (*service.Manager, *http.Server, string) {
 	if err != nil {
 		log.Fatal(err)
 	}
-	httpSrv := &http.Server{Handler: service.NewHandler(mgr)}
+	handler := obs.Middleware(cfg.Metrics, service.NewHandler(mgr), obs.MiddlewareOptions{})
+	httpSrv := &http.Server{Handler: handler}
 	go httpSrv.Serve(ln)
 	return mgr, httpSrv, "http://" + ln.Addr().String()
 }
@@ -353,6 +367,109 @@ func readPathDemo() {
 	}
 	fmt.Printf("100 repeats across 3 spellings: %d cache hits, budget ε-remaining %.4f → %.4f (unchanged), mechanism queries used: %d\n",
 		hits, before.EpsRemaining, after.EpsRemaining, after.QueriesUsed)
+}
+
+// metricsSnapshot mirrors the JSON exposition of GET /metrics?format=json.
+type metricsSnapshot struct {
+	Families []struct {
+		Name    string `json:"name"`
+		Samples []struct {
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"samples"`
+	} `json:"families"`
+}
+
+// sum totals the named family's samples whose labels include match.
+func (m *metricsSnapshot) sum(name string, match map[string]string) float64 {
+	var total float64
+	for _, f := range m.Families {
+		if f.Name != name {
+			continue
+		}
+	sample:
+		for _, s := range f.Samples {
+			for k, v := range match {
+				if s.Labels[k] != v {
+					continue sample
+				}
+			}
+			total += s.Value
+		}
+	}
+	return total
+}
+
+func metricsDemo() {
+	fmt.Println("\n=== Part 4: observability — scraping /metrics over HTTP ===")
+	mgr, srv, base := newWorld(42, "")
+	defer mgr.Shutdown()
+	defer srv.Close()
+
+	var ver struct {
+		Module    string `json:"module"`
+		GoVersion string `json:"go_version"`
+	}
+	get(base+"/version", &ver)
+	fmt.Printf("GET /version → module %s (%s)\n", ver.Module, ver.GoVersion)
+
+	var sess struct {
+		ID string `json:"id"`
+	}
+	post(base+"/v1/sessions", map[string]any{}, &sess)
+	q := map[string]any{"kind": "logistic", "params": map[string]any{"temp": 0.5}}
+
+	// First ask: a miss that goes through the mechanism.
+	var res struct {
+		Cached bool `json:"cached"`
+	}
+	post(base+"/v1/sessions/"+sess.ID+"/query", q, &res)
+	var before metricsSnapshot
+	get(base+"/metrics?format=json", &before)
+	hits0 := before.sum("pmwcm_queries_total", map[string]string{"disposition": "hit"})
+
+	// The repeat is a cache hit, and the server-side counter must move
+	// with it.
+	post(base+"/v1/sessions/"+sess.ID+"/query", q, &res)
+	var after metricsSnapshot
+	get(base+"/metrics?format=json", &after)
+	hits1 := after.sum("pmwcm_queries_total", map[string]string{"disposition": "hit"})
+	if !res.Cached || hits1 != hits0+1 {
+		log.Fatalf("repeat query: cached=%v, hit counter %v → %v (want +1)", res.Cached, hits0, hits1)
+	}
+	fmt.Printf("repeat query: cached=%v, server hit counter %g → %g (+1)\n", res.Cached, hits0, hits1)
+
+	// The per-session spend gauge is the same number the status endpoint
+	// reports — one ledger, two read paths.
+	var status struct {
+		EpsSpent float64 `json:"eps_spent"`
+	}
+	get(base+"/v1/sessions/"+sess.ID, &status)
+	gauge := after.sum("pmwcm_session_eps_spent", map[string]string{"session": sess.ID})
+	if gauge != status.EpsSpent {
+		log.Fatalf("spend gauge %v != session status eps_spent %v", gauge, status.EpsSpent)
+	}
+	fmt.Printf("session %s: /metrics spend gauge %.6f == status eps_spent %.6f ✓\n", sess.ID, gauge, status.EpsSpent)
+
+	// The same registry renders Prometheus text for real scrapers.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	shown := 0
+	for _, line := range bytes.Split(buf.Bytes(), []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("pmwcm_queries_total")) ||
+			bytes.HasPrefix(line, []byte("pmwcm_sessions_open")) {
+			fmt.Printf("  %s\n", line)
+			shown++
+		}
+	}
+	if shown == 0 {
+		log.Fatal("Prometheus exposition carried no pmwcm_* samples")
+	}
 }
 
 // assertSame fails the demo if a continued answer deviates by a single bit

@@ -235,6 +235,15 @@ type Report struct {
 	// Dropped counts open-loop arrivals shed at the MaxInFlight cap —
 	// reported, never silent.
 	Dropped int `json:"dropped,omitempty"`
+	// CutOff counts requests cancelled by the end of the measured window:
+	// excluded from every client-side tally above, but possibly completed
+	// (and counted) server-side, so the consistency check allows for them.
+	CutOff int `json:"cut_off,omitempty"`
+
+	// Server is the server's own /metrics view of the window (counter
+	// deltas between the pre- and post-run scrapes); nil when the target
+	// does not expose a metrics registry. See CheckServerConsistency.
+	Server *ServerMetrics `json:"server,omitempty"`
 }
 
 // collector accumulates request outcomes thread-safely.
@@ -259,6 +268,9 @@ type outcome struct {
 
 func (c *collector) add(o outcome) {
 	if o.skip {
+		c.mu.Lock()
+		c.report.CutOff++
+		c.mu.Unlock()
 		return
 	}
 	c.mu.Lock()
@@ -354,6 +366,11 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 		StartedAt:    time.Now(),
 		StatusCounts: map[string]int{},
 	}}
+	// Pre-run scrape, after session creation so only the measured window's
+	// query traffic lands between the two snapshots. A failed scrape (no
+	// /metrics on the target) leaves Report.Server nil rather than failing
+	// the run — consistency gating is opt-in at the CLI.
+	preScrape, scrapeErr := r.scrapeMetrics(ctx, base)
 	runCtx, cancel := context.WithTimeout(ctx, time.Duration(sc.DurationSec*float64(time.Second)))
 	defer cancel()
 	start := time.Now()
@@ -367,6 +384,13 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	}
 
 	elapsed := time.Since(start).Seconds()
+	if scrapeErr == nil {
+		// Post-run scrape after every worker has joined (and before the
+		// deferred session closes, which touch no query counters).
+		if postScrape, err := r.scrapeMetrics(ctx, base); err == nil {
+			col.report.Server = serverDeltas(preScrape, postScrape)
+		}
+	}
 	rep := &col.report
 	rep.ElapsedSec = elapsed
 	if elapsed > 0 {

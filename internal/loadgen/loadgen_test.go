@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/service"
 	"repro/internal/universe"
@@ -96,8 +97,10 @@ func TestSummarize(t *testing.T) {
 }
 
 // startService boots a real serving subsystem on an httptest listener —
-// the load generator exercises exactly the HTTP surface production runs.
-func startService(t *testing.T) *httptest.Server {
+// the load generator exercises exactly the HTTP surface production runs,
+// including the obs middleware and /metrics registry (withMetrics false
+// mimics an older target without a registry).
+func startService(t *testing.T, withMetrics bool) *httptest.Server {
 	t.Helper()
 	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
 	if err != nil {
@@ -109,17 +112,26 @@ func startService(t *testing.T) *httptest.Server {
 		t.Fatal(err)
 	}
 	data := dataset.SampleFrom(src.Split(), pop, 50000)
+	var reg *obs.Registry
+	if withMetrics {
+		reg = obs.NewRegistry()
+	}
 	m, err := service.New(service.Config{
 		Data:   data,
 		Source: src.Split(),
 		Defaults: service.SessionParams{
 			Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 500, TBudget: 4,
 		},
+		Metrics: reg,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(service.NewHandler(m))
+	handler := service.NewHandler(m)
+	if withMetrics {
+		handler = obs.Middleware(reg, handler, obs.MiddlewareOptions{})
+	}
+	ts := httptest.NewServer(handler)
 	t.Cleanup(func() {
 		ts.Close()
 		m.Shutdown()
@@ -131,7 +143,7 @@ func startService(t *testing.T) *httptest.Server {
 // against a real handler must complete with traffic, a nonzero cache-hit
 // rate, and zero server faults.
 func TestRunClosedLoop(t *testing.T) {
-	ts := startService(t)
+	ts := startService(t, true)
 	rep, err := (&Runner{}).Run(context.Background(), Scenario{
 		BaseURL:     ts.URL,
 		DurationSec: 0.4,
@@ -159,12 +171,82 @@ func TestRunClosedLoop(t *testing.T) {
 	if rep.ThroughputQPS <= 0 {
 		t.Fatalf("no throughput: %+v", rep)
 	}
+	// The target exposes /metrics, so the report carries the server's own
+	// view of the window and the two must agree — the same cross-check CI
+	// runs via `pmwcm loadtest -check-metrics`.
+	if rep.Server == nil || !rep.Server.Supported {
+		t.Fatalf("server metrics not collected: %+v", rep.Server)
+	}
+	if rep.Server.Queries == 0 || rep.Server.CacheHits == 0 {
+		t.Fatalf("server counted no traffic: %+v", rep.Server)
+	}
+	if err := rep.CheckServerConsistency(); err != nil {
+		t.Fatalf("server/client consistency: %v", err)
+	}
+}
+
+// TestServerMetricsUnsupported: a target without a metrics registry
+// yields a nil Server report, and asking for the consistency gate anyway
+// is an explicit error rather than a silent pass.
+func TestServerMetricsUnsupported(t *testing.T) {
+	ts := startService(t, false)
+	rep, err := (&Runner{}).Run(context.Background(), Scenario{
+		BaseURL:     ts.URL,
+		DurationSec: 0.2,
+		HotRatio:    0.9,
+		HotKeys:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Server != nil {
+		t.Fatalf("server metrics from a target without /metrics: %+v", rep.Server)
+	}
+	if err := rep.CheckServerConsistency(); err == nil {
+		t.Fatal("consistency check passed without server metrics")
+	}
+}
+
+// TestCheckServerConsistencyBounds pins the slack arithmetic on a
+// synthetic report, independent of live traffic.
+func TestCheckServerConsistencyBounds(t *testing.T) {
+	mk := func(server ServerMetrics) *Report {
+		return &Report{
+			Scenario: Scenario{BatchSize: 4},
+			Queries:  100, CacheHits: 60, Tops: 30, Bottoms: 10,
+			CutOff: 2, TransportErrors: 1, // slack = 3 × 4 = 12
+			Server: &server,
+		}
+	}
+	ok := ServerMetrics{Supported: true, Queries: 100, CacheHits: 60, Tops: 30, Bottoms: 10}
+	if err := mk(ok).CheckServerConsistency(); err != nil {
+		t.Fatalf("exact match rejected: %v", err)
+	}
+	within := ServerMetrics{Supported: true, Queries: 112, CacheHits: 72, Tops: 30, Bottoms: 10}
+	if err := mk(within).CheckServerConsistency(); err != nil {
+		t.Fatalf("within-slack surplus rejected: %v", err)
+	}
+	over := ServerMetrics{Supported: true, Queries: 113, CacheHits: 73, Tops: 30, Bottoms: 10}
+	if err := mk(over).CheckServerConsistency(); err == nil {
+		t.Fatal("over-slack surplus accepted")
+	}
+	under := ServerMetrics{Supported: true, Queries: 99, CacheHits: 60, Tops: 29, Bottoms: 10}
+	if err := mk(under).CheckServerConsistency(); err == nil {
+		t.Fatal("server under-count accepted")
+	}
+	faults := ok
+	faults.Status5xx = 0
+	rep := mk(faults)
+	rep.Status5xx = 1
+	if err := rep.CheckServerConsistency(); err == nil {
+		t.Fatal("server missing client-observed 5xx accepted")
+	}
 }
 
 // TestRunOpenLoop covers the fixed-rate arrival process, single-query
 // endpoint, and multi-accountant fan-out.
 func TestRunOpenLoop(t *testing.T) {
-	ts := startService(t)
+	ts := startService(t, true)
 	rep, err := (&Runner{}).Run(context.Background(), Scenario{
 		BaseURL:     ts.URL,
 		Mode:        "open",

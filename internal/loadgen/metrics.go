@@ -1,0 +1,156 @@
+package loadgen
+
+// metrics.go is loadgen's server-side view: Run scrapes the target's
+// GET /metrics?format=json endpoint immediately before and after the
+// measured window and reports the counter deltas next to the client-side
+// tallies. CheckServerConsistency then cross-checks the two — the server
+// cannot under-count what the client observed, and can exceed it only by
+// the requests the client gave up on (window cut-offs, transport errors).
+// The CI loadtest smoke job runs this as a gate, which makes the metrics
+// layer itself a tested artifact rather than write-only telemetry.
+//
+// Like the rest of the package this file stays a pure HTTP client: it
+// decodes the JSON exposition format into mirror structs and imports no
+// serving internals.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+)
+
+// metricsSnapshot mirrors the obs JSON exposition shape loadgen reads.
+type metricsSnapshot struct {
+	Families []struct {
+		Name    string `json:"name"`
+		Samples []struct {
+			Labels map[string]string `json:"labels"`
+			Value  float64           `json:"value"`
+		} `json:"samples"`
+	} `json:"families"`
+}
+
+// sum adds the values of every sample of the named family whose labels
+// include all of match (nil matches everything).
+func (m *metricsSnapshot) sum(name string, match map[string]string) float64 {
+	if m == nil {
+		return 0
+	}
+	var total float64
+	for _, f := range m.Families {
+		if f.Name != name {
+			continue
+		}
+	sample:
+		for _, s := range f.Samples {
+			for k, v := range match {
+				if s.Labels[k] != v {
+					continue sample
+				}
+			}
+			total += s.Value
+		}
+	}
+	return total
+}
+
+// scrapeMetrics fetches one JSON metrics snapshot. A non-200 (including
+// 404 from a server without a metrics registry) is an error the caller
+// treats as "server metrics unsupported".
+func (r *Runner) scrapeMetrics(ctx context.Context, base string) (*metricsSnapshot, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics?format=json", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: scraping /metrics: status %d", resp.StatusCode)
+	}
+	var snap metricsSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("loadgen: decoding /metrics: %w", err)
+	}
+	return &snap, nil
+}
+
+// ServerMetrics is the server's own view of the measured window: deltas
+// of its /metrics counters between the pre- and post-run scrapes.
+type ServerMetrics struct {
+	// Supported reports that both scrapes succeeded; when false every
+	// delta is zero and consistency cannot be checked.
+	Supported bool `json:"supported"`
+	// Queries/CacheHits/Tops/Bottoms are the answered-query disposition
+	// deltas (pmwcm_queries_total).
+	Queries   int `json:"queries"`
+	CacheHits int `json:"cache_hits"`
+	Tops      int `json:"tops"`
+	Bottoms   int `json:"bottoms"`
+	// Status5xx is the server-fault request delta across all routes
+	// (pmwcm_http_requests_total{class="5xx"}).
+	Status5xx int `json:"status_5xx"`
+}
+
+// delta reads an integer counter movement between two snapshots.
+func delta(before, after *metricsSnapshot, name string, match map[string]string) int {
+	return int(math.Round(after.sum(name, match) - before.sum(name, match)))
+}
+
+// serverDeltas computes the window's ServerMetrics from two scrapes.
+func serverDeltas(before, after *metricsSnapshot) *ServerMetrics {
+	s := &ServerMetrics{
+		Supported: true,
+		CacheHits: delta(before, after, "pmwcm_queries_total", map[string]string{"disposition": "hit"}),
+		Tops:      delta(before, after, "pmwcm_queries_total", map[string]string{"disposition": "top"}),
+		Bottoms:   delta(before, after, "pmwcm_queries_total", map[string]string{"disposition": "bottom"}),
+		Status5xx: delta(before, after, "pmwcm_http_requests_total", map[string]string{"class": "5xx"}),
+	}
+	s.Queries = s.CacheHits + s.Tops + s.Bottoms
+	return s
+}
+
+// CheckServerConsistency asserts the server's counter deltas agree with
+// the client-side report. The client's count is a floor: every answer
+// the client decoded was counted by the server first. The ceiling allows
+// for requests the server completed but the client never tallied —
+// window cut-offs and transport errors, each worth at most one batch of
+// queries — so the bound is [client, client + (CutOff+TransportErrors) ×
+// BatchSize]. It requires the run to have been the server's only query
+// traffic. A nil or unsupported Server is an error: the caller asked for
+// a consistency gate the target cannot provide.
+func (r *Report) CheckServerConsistency() error {
+	s := r.Server
+	if s == nil || !s.Supported {
+		return fmt.Errorf("loadgen: server metrics unavailable (target has no /metrics registry?)")
+	}
+	slack := (r.CutOff + r.TransportErrors) * r.Scenario.BatchSize
+	check := func(what string, server, client int) error {
+		if server < client || server > client+slack {
+			return fmt.Errorf("loadgen: server counted %d %s, client %d (allowed slack %d): metrics and report disagree",
+				server, what, client, slack)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		what           string
+		server, client int
+	}{
+		{"queries", s.Queries, r.Queries},
+		{"cache hits", s.CacheHits, r.CacheHits},
+		{"tops", s.Tops, r.Tops},
+		{"bottoms", s.Bottoms, r.Bottoms},
+	} {
+		if err := check(c.what, c.server, c.client); err != nil {
+			return err
+		}
+	}
+	if s.Status5xx < r.Status5xx {
+		return fmt.Errorf("loadgen: server counted %d 5xx responses, client saw %d", s.Status5xx, r.Status5xx)
+	}
+	return nil
+}

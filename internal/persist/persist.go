@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/transcript"
 )
@@ -184,6 +185,49 @@ type Manifest struct {
 // session mutex and manifest saves behind the manager mutex.
 type Store struct {
 	dir string
+	met *storeMetrics
+}
+
+// storeMetrics holds the store's checkpoint instruments. nil means
+// uninstrumented: the write path pays one nil check and no clock reads.
+type storeMetrics struct {
+	count map[string]*obs.Counter // by checkpoint kind
+	bytes map[string]*obs.Counter
+	fsync *obs.Histogram
+}
+
+// Checkpoint kind labels on the store's counters.
+const (
+	// KindManifest labels manifest checkpoints.
+	KindManifest = "manifest"
+	// KindSession labels per-session state checkpoints.
+	KindSession = "session"
+)
+
+// Instrument attaches checkpoint observability to the store:
+// pmwcm_checkpoint_total{kind} and pmwcm_checkpoint_bytes_total{kind}
+// counters plus the pmwcm_fsync_seconds latency histogram. Call once,
+// before the store is used concurrently; a nil registry is a no-op.
+// Instrumentation is timing/volume-only and never alters what is written.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	const (
+		countHelp = "Durable checkpoints committed, by kind."
+		bytesHelp = "Bytes committed to durable checkpoints, by kind."
+	)
+	m := &storeMetrics{
+		count: map[string]*obs.Counter{},
+		bytes: map[string]*obs.Counter{},
+		fsync: reg.Histogram("pmwcm_fsync_seconds",
+			"Checkpoint fsync latency in seconds.", obs.DefBuckets, nil),
+	}
+	for _, kind := range []string{KindManifest, KindSession} {
+		m.count[kind] = reg.Counter("pmwcm_checkpoint_total", countHelp, obs.Labels{"kind": kind})
+		m.bytes[kind] = reg.Counter("pmwcm_checkpoint_bytes_total", bytesHelp, obs.Labels{"kind": kind})
+	}
+	s.met = m
 }
 
 // Open creates the directory if needed and returns a store over it.
@@ -231,15 +275,23 @@ func (s *Store) sessionPath(id string) string {
 }
 
 // writeAtomic writes data to path via a temp file and rename, so readers
-// and crash recovery only ever observe complete files.
-func (s *Store) writeAtomic(path string, data []byte) error {
+// and crash recovery only ever observe complete files. kind labels the
+// checkpoint counters when the store is instrumented.
+func (s *Store) writeAtomic(path, kind string, data []byte) error {
 	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
 	if err != nil {
 		return fmt.Errorf("persist: creating temp file: %w", err)
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
+	var syncStart time.Time
+	if s.met != nil {
+		syncStart = time.Now()
+	}
 	serr := tmp.Sync()
+	if s.met != nil && serr == nil {
+		s.met.fsync.Observe(time.Since(syncStart).Seconds())
+	}
 	cerr := tmp.Close()
 	for _, err := range []error{werr, serr, cerr} {
 		if err != nil {
@@ -251,6 +303,10 @@ func (s *Store) writeAtomic(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("persist: committing %s: %w", filepath.Base(path), err)
 	}
+	if s.met != nil {
+		s.met.count[kind].Inc()
+		s.met.bytes[kind].Add(uint64(len(data)))
+	}
 	return nil
 }
 
@@ -260,7 +316,7 @@ func (s *Store) SaveManifest(m *Manifest) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(filepath.Join(s.dir, manifestFile), data)
+	return s.writeAtomic(filepath.Join(s.dir, manifestFile), KindManifest, data)
 }
 
 // LoadManifest reads the manifest, returning (nil, nil) when the directory
@@ -289,7 +345,7 @@ func (s *Store) SaveSession(st *SessionState) error {
 	if err != nil {
 		return err
 	}
-	return s.writeAtomic(s.sessionPath(st.ID), data)
+	return s.writeAtomic(s.sessionPath(st.ID), KindSession, data)
 }
 
 // LoadSession reads one session's state file.

@@ -6,15 +6,20 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/convex"
 	"repro/internal/core"
 	"repro/internal/mech"
+	"repro/internal/obs"
 )
 
 // httpapi.go is the HTTP/JSON front end over a Manager. The API surface:
 //
-//	GET    /healthz                      — liveness + open-session count
+//	GET    /healthz                      — liveness: uptime, open-session count, durability
+//	GET    /version                      — build identity (module version, VCS revision)
+//	GET    /metrics                      — observability registry (Prometheus text; ?format=json),
+//	                                       present only when the manager has a metrics registry
 //	GET    /v1/losses                    — registered loss kinds
 //	GET    /v1/accountants               — registered privacy accountants
 //	GET    /v1/defaults                  — merged default session parameters
@@ -43,13 +48,23 @@ func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
-			"ok":            true,
-			"open_sessions": m.OpenSessions(),
-			"universe":      m.Universe().String(),
-			"durable":       m.Durable(),
+		writeJSON(w, http.StatusOK, Health{
+			OK:           true,
+			UptimeSec:    time.Since(m.Started()).Seconds(),
+			OpenSessions: m.OpenSessions(),
+			Universe:     m.Universe().String(),
+			Durable:      m.Durable(),
+			StateDir:     m.StateDir(),
 		})
 	})
+
+	mux.HandleFunc("GET /version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, obs.Version())
+	})
+
+	if reg := m.Metrics(); reg != nil {
+		mux.Handle("GET /metrics", obs.MetricsHandler(reg))
+	}
 
 	mux.HandleFunc("GET /v1/losses", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"kinds": convex.Kinds()})
@@ -181,6 +196,22 @@ func NewHandler(m *Manager) http.Handler {
 
 // MaxBatchSize caps the number of queries one batch request may carry.
 const MaxBatchSize = 1024
+
+// Health is the body of GET /healthz.
+type Health struct {
+	// OK is always true when the server can respond at all.
+	OK bool `json:"ok"`
+	// UptimeSec is the seconds since the manager was constructed.
+	UptimeSec float64 `json:"uptime_sec"`
+	// OpenSessions counts currently open sessions.
+	OpenSessions int `json:"open_sessions"`
+	// Universe describes the public data universe.
+	Universe string `json:"universe"`
+	// Durable reports whether sessions checkpoint to a state directory;
+	// StateDir is that directory ("" when memory-only).
+	Durable  bool   `json:"durable"`
+	StateDir string `json:"state_dir,omitempty"`
+}
 
 // BatchRequest is the body of POST /v1/sessions/{id}/queries:batch.
 type BatchRequest struct {

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/obs"
+	"repro/internal/sample"
+	"repro/internal/universe"
+)
+
+// testManagerObs builds a manager identical to testManager's but with a
+// metrics registry attached.
+func testManagerObs(t *testing.T) (*Manager, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	g, err := universe.NewLabeledGrid(2, 3, 1.0, 3, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := sample.New(7)
+	pop, err := dataset.Skewed(g, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := dataset.SampleFrom(src.Split(), pop, 50000)
+	m, err := New(Config{
+		Data:   data,
+		Source: src.Split(),
+		Defaults: SessionParams{
+			Eps: 1, Delta: 1e-6, Alpha: 0.02, K: 10, TBudget: 8,
+		},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, reg
+}
+
+// driveGolden runs one fixed query workload against a handler and returns
+// every response body that must be deterministic: each query result, the
+// batch result, and the final transcript. Status bodies are excluded (the
+// Created timestamp is wall-clock).
+func driveGolden(t *testing.T, h http.Handler) []string {
+	t.Helper()
+	do := func(method, path, body string) (int, string) {
+		req := httptest.NewRequest(method, path, strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec.Code, rec.Body.String()
+	}
+	code, body := do("POST", "/v1/sessions", `{"k": 8}`)
+	if code != http.StatusCreated {
+		t.Fatalf("create session: %d %s", code, body)
+	}
+	var created struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal([]byte(body), &created); err != nil {
+		t.Fatal(err)
+	}
+
+	var out []string
+	record := func(method, path, body string) {
+		code, resp := do(method, path, body)
+		if code != http.StatusOK {
+			t.Fatalf("%s %s: %d %s", method, path, code, resp)
+		}
+		out = append(out, resp)
+	}
+	base := "/v1/sessions/" + created.ID
+	// Misses, a repeat (cache hit), and a mixed batch — every disposition
+	// the metrics layer counts.
+	record("POST", base+"/query", `{"kind":"logistic","params":{"temp":0.5}}`)
+	record("POST", base+"/query", `{"kind":"positive","params":{"coord":0}}`)
+	record("POST", base+"/query", `{"kind":"logistic","params":{"temp":0.5}}`)
+	record("POST", base+"/queries:batch", `{"queries":[
+		{"kind":"positive","params":{"coord":1}},
+		{"kind":"logistic","params":{"temp":0.5}},
+		{"kind":"halfspace","params":{"w":[1,0,0],"threshold":0.25}}
+	]}`)
+	record("GET", base+"/transcript", "")
+	return out
+}
+
+// TestObservabilityGolden pins the layer-wide invariant: enabling the
+// full observability stack — registry, collectors, HTTP middleware, and
+// structured logging — leaves every released answer and the transcript
+// byte-identical to a manager with observability off.
+func TestObservabilityGolden(t *testing.T) {
+	plain := testManager(t, Limits{})
+	defer plain.Shutdown()
+	want := driveGolden(t, NewHandler(plain))
+
+	obsMgr, reg := testManagerObs(t)
+	defer obsMgr.Shutdown()
+	var logBuf bytes.Buffer
+	h := obs.Middleware(reg, NewHandler(obsMgr), obs.MiddlewareOptions{
+		Logger:      slog.New(slog.NewJSONHandler(&logBuf, nil)),
+		SessionInfo: obsMgr.SessionAccountant,
+	})
+	got := driveGolden(t, h)
+
+	if len(got) != len(want) {
+		t.Fatalf("response counts differ: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("response %d diverged with observability on:\nplain: %s\nobs:   %s", i, want[i], got[i])
+		}
+	}
+
+	// The observation side actually happened — the invariant is "observed
+	// and identical", not "identical because nothing was recorded".
+	hits := reg.Counter("pmwcm_queries_total", "", obs.Labels{"disposition": "hit"}).Value()
+	if hits == 0 {
+		t.Error("cache-hit counter never moved during the golden workload")
+	}
+	if reg.Counter("pmwcm_batches_total", "", nil).Value() != 1 {
+		t.Error("batch counter != 1")
+	}
+	if !strings.Contains(logBuf.String(), `"route":"POST /v1/sessions/{id}/query"`) {
+		t.Errorf("request log missing query route: %s", logBuf.String())
+	}
+}
+
+// TestSessionStatusCacheHits pins the status-side hit ledger the
+// per-session gauge is built from.
+func TestSessionStatusCacheHits(t *testing.T) {
+	m, reg := testManagerObs(t)
+	defer m.Shutdown()
+	s, err := m.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Query(countingSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		res, err := s.Query(countingSpec(0))
+		if err != nil || !res.Cached {
+			t.Fatalf("repeat %d: cached=%v err=%v", i, res.Cached, err)
+		}
+	}
+	if got := s.Status().CacheHits; got != 3 {
+		t.Fatalf("status cache hits = %d, want 3", got)
+	}
+
+	// The scrape-time collector reports the same ledger, labeled by
+	// session and accountant.
+	var gauge, spent float64
+	for _, f := range reg.Snapshot() {
+		for _, smp := range f.Samples {
+			if smp.Labels["session"] != s.ID() {
+				continue
+			}
+			switch f.Name {
+			case "pmwcm_session_cache_hits":
+				gauge = smp.Value
+			case "pmwcm_session_eps_spent":
+				spent = smp.Value
+			}
+		}
+	}
+	if gauge != 3 {
+		t.Fatalf("collector cache-hits gauge = %v, want 3", gauge)
+	}
+	if st := s.Status(); spent != st.EpsSpent {
+		t.Fatalf("collector eps-spent gauge %v != status %v", spent, st.EpsSpent)
+	}
+}
+
+// TestMetricsScrapeUnderLoad hammers /metrics (both formats) and /healthz
+// concurrently with query, batch, and status traffic. Run with -race this
+// is the data-race gate for the whole scrape path.
+func TestMetricsScrapeUnderLoad(t *testing.T) {
+	m, reg := testManagerObs(t)
+	defer m.Shutdown()
+	h := obs.Middleware(reg, NewHandler(m), obs.MiddlewareOptions{})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	do := func(method, path, body string) (int, []byte) {
+		req, err := http.NewRequest(method, srv.URL+path, strings.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Error(err)
+			return 0, nil
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, raw
+	}
+
+	const workers, iters = 4, 25
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, body := do("POST", "/v1/sessions", "")
+			var created struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(body, &created); err != nil {
+				t.Errorf("worker %d: create: %v", w, err)
+				return
+			}
+			base := "/v1/sessions/" + created.ID
+			for i := 0; i < iters; i++ {
+				// Repeats of one hot spec keep the workload inside the cache
+				// (no budget exhaustion), with an occasional batch.
+				spec := fmt.Sprintf(`{"kind":"halfspace","params":{"w":[1,0,0],"threshold":%g}}`, 0.01*float64(w+1))
+				if code, b := do("POST", base+"/query", spec); code != http.StatusOK {
+					t.Errorf("worker %d query: %d %s", w, code, b)
+				}
+				if i%5 == 0 {
+					do("POST", base+"/queries:batch", `{"queries":[`+spec+`,`+spec+`]}`)
+					do("GET", base, "")
+				}
+			}
+		}(w)
+	}
+	// Scrapers race the query traffic.
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if code, b := do("GET", "/metrics", ""); code != http.StatusOK || !bytes.Contains(b, []byte("pmwcm_")) {
+					t.Errorf("prom scrape: %d", code)
+				}
+				if code, b := do("GET", "/metrics?format=json", ""); code != http.StatusOK || !json.Valid(b) {
+					t.Errorf("json scrape: %d", code)
+				}
+				if code, _ := do("GET", "/healthz", ""); code != http.StatusOK {
+					t.Errorf("healthz: %d", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Post-hammer accounting: every query answered was counted once.
+	var queries uint64
+	for _, d := range []string{"hit", "top", "bottom"} {
+		queries += reg.Counter("pmwcm_queries_total", "", obs.Labels{"disposition": d}).Value()
+	}
+	if queries == 0 {
+		t.Fatal("no queries counted during hammer")
+	}
+	if got := reg.Counter("pmwcm_http_requests_total", "",
+		obs.Labels{"route": "GET /metrics", "class": "2xx"}).Value(); got == 0 {
+		t.Fatal("metrics route not counted by middleware")
+	}
+}
+
+// TestHealthzAndVersionEndpoints covers the two operational read
+// endpoints added alongside /metrics.
+func TestHealthzAndVersionEndpoints(t *testing.T) {
+	m, _ := testManagerObs(t)
+	defer m.Shutdown()
+	if _, err := m.CreateSession(SessionParams{}); err != nil {
+		t.Fatal(err)
+	}
+	h := NewHandler(m)
+
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	var health Health
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if !health.OK || health.OpenSessions != 1 || health.UptimeSec < 0 || health.Durable {
+		t.Fatalf("healthz = %+v", health)
+	}
+	if !strings.Contains(rec.Body.String(), `"ok"`) {
+		t.Fatal("healthz lost its ok field")
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/version", nil))
+	var v obs.VersionInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.GoVersion == "" {
+		t.Fatalf("version = %+v", v)
+	}
+}
+
+// TestMetricsEndpointAbsentWithoutRegistry: a manager without a registry
+// serves no /metrics route at all.
+func TestMetricsEndpointAbsentWithoutRegistry(t *testing.T) {
+	m := testManager(t, Limits{})
+	defer m.Shutdown()
+	rec := httptest.NewRecorder()
+	NewHandler(m).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("metrics without registry: %d, want 404", rec.Code)
+	}
+}

@@ -61,6 +61,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/erm"
 	"repro/internal/mech"
+	"repro/internal/obs"
 	"repro/internal/persist"
 	"repro/internal/sample"
 	"repro/internal/transcript"
@@ -212,6 +213,13 @@ type Config struct {
 	// from memory only. The store's manifest pins a fingerprint of Data;
 	// opening old state over a different dataset fails.
 	Store *persist.Store
+	// Metrics enables observability: the manager records query
+	// dispositions and batch shapes into the registry and registers a
+	// scrape-time collector for session counts and per-session /
+	// per-accountant budget gauges. Nil disables instrumentation at zero
+	// cost. Metrics are observation only — enabling them leaves answers,
+	// ledgers, and transcripts bit-identical.
+	Metrics *obs.Registry
 }
 
 // Manager hosts concurrent analyst sessions over one private dataset. All
@@ -222,6 +230,10 @@ type Manager struct {
 	// when durable): it is a constant of the manager's lifetime and goes
 	// into every manifest write.
 	fp persist.DatasetInfo
+	// met holds the hot-path instruments (all-nil no-ops when metrics are
+	// disabled); started anchors the uptime report.
+	met     *svcMetrics
+	started time.Time
 
 	mu        sync.Mutex
 	seq       uint64
@@ -257,12 +269,18 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{
 		cfg:      cfg,
+		met:      newSvcMetrics(cfg.Metrics),
+		started:  time.Now(),
 		sessions: map[string]*Session{},
 	}
 	if cfg.Store != nil {
+		cfg.Store.Instrument(cfg.Metrics)
 		if err := m.recover(); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.RegisterCollector(m.collect)
 	}
 	return m, nil
 }
@@ -395,7 +413,7 @@ func (m *Manager) restoreOne(st *persist.SessionState) (*Session, error) {
 	}
 	rec := &transcript.Recorder{Srv: srv, T: st.Transcript}
 	id := st.ID
-	return restoreSession(st, p, rec, m.cfg.Data.U, m.cfg.Store, func() { m.release(id) }), nil
+	return restoreSession(st, p, rec, m.cfg.Data.U, m.cfg.Store, m.met, func() { m.release(id) }), nil
 }
 
 // verifyLedger re-verifies a restored accountant against the replayed
@@ -494,7 +512,7 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		return nil, err
 	}
 
-	s := newSession(id, p, srv, m.cfg.Data.U, time.Now(), m.cfg.Oracle.Name(), m.cfg.Store, func() { m.release(id) })
+	s := newSession(id, p, srv, m.cfg.Data.U, time.Now(), m.cfg.Oracle.Name(), m.cfg.Store, m.met, func() { m.release(id) })
 	// The creation checkpoint makes the session durable from its first
 	// moment: the split noise stream and the already-drawn sparse-vector
 	// threshold are on disk before any query is answered.

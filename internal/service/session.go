@@ -47,6 +47,11 @@ type Session struct {
 	created time.Time
 	oracle  string
 	store   *persist.Store // nil when the manager is memory-only
+	// met are the manager's shared hot-path instruments (all-nil no-ops
+	// when metrics are disabled); cacheHits is this session's lifetime
+	// cache-served answer count, reported in SessionStatus.
+	met       *svcMetrics
+	cacheHits atomic.Int64
 
 	// onClose releases the session's manager slot; invoked exactly once,
 	// outside the state mutex, when the session closes.
@@ -109,7 +114,7 @@ type ledgerView struct {
 	updatesMax                   int
 }
 
-func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store *persist.Store, onClose func()) *Session {
+func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store *persist.Store, met *svcMetrics, onClose func()) *Session {
 	rec := transcript.NewRecorder(srv)
 	rec.T.Meta["eps"] = p.Eps
 	rec.T.Meta["delta"] = p.Delta
@@ -122,6 +127,7 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 		created: created,
 		oracle:  oracle,
 		store:   store,
+		met:     met,
 		onClose: onClose,
 		rec:     rec,
 	}
@@ -135,7 +141,7 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 // answer cache is rebuilt from the transcript's recorded cache keys, so a
 // query already answered before the restart stays a zero-spend repeat
 // after it.
-func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store *persist.Store, onClose func()) *Session {
+func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store *persist.Store, met *svcMetrics, onClose func()) *Session {
 	s := &Session{
 		id:      st.ID,
 		params:  p,
@@ -143,6 +149,7 @@ func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.R
 		created: st.Created,
 		oracle:  st.Oracle,
 		store:   store,
+		met:     met,
 		onClose: onClose,
 		rec:     rec,
 	}
@@ -292,8 +299,11 @@ func (s *Session) cacheGet(key string) *cacheEntry {
 }
 
 // hitResult renders a cached entry as a zero-spend result carrying the
-// latest published ledger view.
+// latest published ledger view. Every cache-served answer funnels
+// through here, so it is the single point that counts hits.
 func (s *Session) hitResult(e *cacheEntry) *QueryResult {
+	s.cacheHits.Add(1)
+	s.met.hit()
 	v := s.view.Load()
 	return &QueryResult{
 		Loss:           e.loss,
@@ -318,6 +328,9 @@ func (s *Session) lookupCached(key string) (*QueryResult, error) {
 		return nil, ErrSessionClosed
 	}
 	e := s.cacheGet(key)
+	if e != nil && !s.servable(e) {
+		s.met.gate()
+	}
 	if e == nil || !s.servable(e) {
 		return nil, nil
 	}
@@ -349,6 +362,11 @@ func (s *Session) answerLocked(l convex.Loss, key string) (*QueryResult, error) 
 			s.cache.m[key] = &cacheEntry{loss: l.Name(), answer: ev.Answer, gateSeq: gate}
 		}
 		s.cache.Unlock()
+	}
+	if ev.Top {
+		s.met.top()
+	} else {
+		s.met.bottom()
 	}
 	s.publishViewLocked()
 	rem := srv.Remaining()
@@ -478,6 +496,7 @@ type BatchItem struct {
 // the returned error is reserved for batch-wide failures (a failed
 // checkpoint withholds the whole batch's answers).
 func (s *Session) QueryBatch(specs []convex.Spec) ([]BatchItem, error) {
+	s.met.batch(len(specs))
 	items := make([]BatchItem, len(specs))
 	keys := make([]string, len(specs))
 	isMiss := make([]bool, len(specs))
@@ -493,6 +512,9 @@ func (s *Session) QueryBatch(specs []convex.Spec) ([]BatchItem, error) {
 		// it must go through the locked phase, whose trailing save gates
 		// its release.
 		if e := s.cacheGet(key); e == nil || !s.servable(e) {
+			if e != nil {
+				s.met.gate()
+			}
 			isMiss[i] = true
 			missIdx = append(missIdx, i)
 		}
@@ -617,6 +639,10 @@ type SessionStatus struct {
 	UpdatesUsed int `json:"updates_used"`
 	UpdatesMax  int `json:"updates_max"`
 
+	// CacheHits counts answers this session served from its answer cache
+	// (zero-spend repeats; they never count against QueriesUsed).
+	CacheHits int64 `json:"cache_hits"`
+
 	// Accountant is the accounting mode composing the session's spends.
 	Accountant string `json:"accountant"`
 
@@ -656,6 +682,7 @@ func (s *Session) Status() SessionStatus {
 		QueriesMax:     s.params.K,
 		UpdatesUsed:    srv.Updates(),
 		UpdatesMax:     p.T,
+		CacheHits:      s.cacheHits.Load(),
 		Accountant:     srv.AccountantName(),
 		EpsBudget:      s.params.Eps,
 		DeltaBudget:    s.params.Delta,

@@ -27,7 +27,30 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Observer receives one completed sweep's telemetry: the chunk count, the
+// effective worker count, and the wall-clock duration in seconds. It runs
+// on the sweeping goroutine after the reduction has completed, so it sees
+// timing only — it cannot observe or perturb kernel inputs, partials, or
+// the bit-exact result. Observers must be cheap and concurrency-safe.
+type Observer func(chunks, workers int, seconds float64)
+
+// observer is the process-wide sweep observer; nil (the default) makes
+// instrumentation a single atomic load on the sweep path.
+var observer atomic.Pointer[Observer]
+
+// SetObserver installs or (with nil) removes the process-wide sweep
+// observer. The serve command uses it to feed the sweep-duration
+// histogram; tests and library users normally leave it unset.
+func SetObserver(f Observer) {
+	if f == nil {
+		observer.Store(nil)
+		return
+	}
+	observer.Store(&f)
+}
 
 // ChunkSize is the fixed number of universe indices per chunk. It depends
 // on nothing but this constant, so chunk boundaries — and therefore the
@@ -91,28 +114,36 @@ func (e *Engine) run(chunks int, f func(c int)) {
 	if w > chunks {
 		w = chunks
 	}
+	obs := observer.Load()
+	var start time.Time
+	if obs != nil {
+		start = time.Now()
+	}
 	if w <= 1 {
 		for c := 0; c < chunks; c++ {
 			f(c)
 		}
-		return
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(w)
-	for i := 0; i < w; i++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := int(next.Add(1)) - 1
-				if c >= chunks {
-					return
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for {
+					c := int(next.Add(1)) - 1
+					if c >= chunks {
+						return
+					}
+					f(c)
 				}
-				f(c)
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if obs != nil {
+		(*obs)(chunks, w, time.Since(start).Seconds())
+	}
 }
 
 // ForEach runs f over every chunk of [0, n). Chunks execute concurrently;

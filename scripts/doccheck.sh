@@ -4,10 +4,11 @@
 #   1. gofmt -l         : no unformatted files
 #   2. go vet ./...     : no vet diagnostics
 #   3. doccheck         : every internal package has a package doc comment,
-#                         and every exported symbol in internal/persist and
-#                         internal/service has a doc comment (the serving +
-#                         persistence surface is the repo's operational API,
-#                         so it is held to the strictest standard)
+#                         and every exported symbol in internal/obs,
+#                         internal/persist, and internal/service has a doc
+#                         comment (the serving + persistence + observability
+#                         surface is the repo's operational API, so it is
+#                         held to the strictest standard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,10 +24,10 @@ go vet ./...
 pkgdoc_args=()
 for d in internal/*/; do
     case "$d" in
-        internal/persist/|internal/service/) ;; # strict-checked below
+        internal/obs/|internal/persist/|internal/service/) ;; # strict-checked below
         *) pkgdoc_args+=(-pkgdoc "${d%/}") ;;
     esac
 done
-go run ./scripts/doccheck "${pkgdoc_args[@]}" internal/persist internal/service
+go run ./scripts/doccheck "${pkgdoc_args[@]}" internal/obs internal/persist internal/service
 
 echo "doccheck: OK"
