@@ -38,6 +38,13 @@ var chunkBuf = sync.Pool{New: func() any {
 	return &s
 }}
 
+// All range kernels below materialize their chunk's points once via
+// xeval.MaterializePoints and then iterate the flat row-major matrix.
+// Dense universes turn per-element PointInto copies into one bulk copy;
+// implicit product universes amortize the mixed-radix index decode across
+// the chunk. The materialized rows are bit-identical to what PointInto
+// returns and are visited in the same order, so results are unchanged.
+
 // evalRange dispatches to the loss's EvalBatch kernel or the generic
 // per-element fallback.
 func evalRange(l Loss, out, theta []float64, u universe.Universe, lo, hi int) {
@@ -45,10 +52,12 @@ func evalRange(l Loss, out, theta []float64, u universe.Universe, lo, hi int) {
 		bl.EvalBatch(out, theta, u, lo, hi)
 		return
 	}
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		out[i-lo] = l.Value(theta, u.PointInto(i, buf))
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		out[k] = l.Value(theta, pts[k*dim:(k+1)*dim:(k+1)*dim])
 	}
+	release()
 }
 
 // gradRange dispatches to the loss's GradBatch kernel or the generic
@@ -59,17 +68,19 @@ func gradRange(l Loss, grad, theta, w []float64, u universe.Universe, lo, hi int
 		return
 	}
 	g := make([]float64, len(grad))
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		wi := w[i-lo]
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		wi := w[k]
 		if wi == 0 {
 			continue
 		}
-		l.Grad(g, theta, u.PointInto(i, buf))
+		l.Grad(g, theta, pts[k*dim:(k+1)*dim:(k+1)*dim])
 		for j := range grad {
 			grad[j] += wi * g[j]
 		}
 	}
+	release()
 }
 
 // dirGradRange dispatches to the loss's DirGradBatch kernel or the generic
@@ -80,11 +91,13 @@ func dirGradRange(l Loss, out, dir, theta []float64, u universe.Universe, lo, hi
 		return
 	}
 	g := make([]float64, len(dir))
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		l.Grad(g, theta, u.PointInto(i, buf))
-		out[i-lo] = vecmath.Dot(dir, g)
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		l.Grad(g, theta, pts[k*dim:(k+1)*dim:(k+1)*dim])
+		out[k] = vecmath.Dot(dir, g)
 	}
+	release()
 }
 
 // ---------------------------------------------------------------------------
@@ -104,27 +117,30 @@ func lastCoord(x []float64) float64 { return x[len(x)-1] }
 
 func glmEvalRange(l GLM, label glmLabel, out, theta []float64, u universe.Universe, lo, hi int) {
 	d := l.Domain().Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		x := u.PointInto(i, buf)
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		var z float64
 		for j := 0; j < d; j++ {
 			z += theta[j] * x[j]
 		}
 		v, _ := l.Scalar(z, label(x))
-		out[i-lo] = v
+		out[k] = v
 	}
+	release()
 }
 
 func glmGradRange(l GLM, label glmLabel, grad, theta, w []float64, u universe.Universe, lo, hi int) {
 	d := l.Domain().Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		wi := w[i-lo]
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		wi := w[k]
 		if wi == 0 {
 			continue
 		}
-		x := u.PointInto(i, buf)
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		var z float64
 		for j := 0; j < d; j++ {
 			z += theta[j] * x[j]
@@ -135,21 +151,24 @@ func glmGradRange(l GLM, label glmLabel, grad, theta, w []float64, u universe.Un
 			grad[j] += f * x[j]
 		}
 	}
+	release()
 }
 
 func glmDirGradRange(l GLM, label glmLabel, out, dir, theta []float64, u universe.Universe, lo, hi int) {
 	d := l.Domain().Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		x := u.PointInto(i, buf)
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		var z, dz float64
 		for j := 0; j < d; j++ {
 			z += theta[j] * x[j]
 			dz += dir[j] * x[j]
 		}
 		_, dv := l.Scalar(z, label(x))
-		out[i-lo] = dv * dz
+		out[k] = dv * dz
 	}
+	release()
 }
 
 // Squared: the profile's second argument is the target attribute ⟨target, x⟩
@@ -233,73 +252,85 @@ func (l *Poisson) DirGradBatch(out, dir, theta []float64, u universe.Universe, l
 
 func (l *LinearForm) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
 	d := l.dom.Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		x := u.PointInto(i, buf)
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		var z float64
 		for j := 0; j < d; j++ {
 			z += theta[j] * x[j]
 		}
-		out[i-lo] = l.weight(x) * z
+		out[k] = l.weight(x) * z
 	}
+	release()
 }
 
 func (l *LinearForm) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
 	d := l.dom.Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		wi := w[i-lo]
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		wi := w[k]
 		if wi == 0 {
 			continue
 		}
-		x := u.PointInto(i, buf)
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		f := wi * l.weight(x)
 		for j := 0; j < d; j++ {
 			grad[j] += f * x[j]
 		}
 	}
+	release()
 }
 
 func (l *LinearForm) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
 	d := l.dom.Dim()
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		x := u.PointInto(i, buf)
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		x := pts[k*dim : (k+1)*dim : (k+1)*dim]
 		var dz float64
 		for j := 0; j < d; j++ {
 			dz += dir[j] * x[j]
 		}
-		out[i-lo] = l.weight(x) * dz
+		out[k] = l.weight(x) * dz
 	}
+	release()
 }
 
 // ---------------------------------------------------------------------------
 // LinearQuery kernels: 1-dimensional with ∇ℓ_x = θ − q(x).
 
 func (l *LinearQuery) EvalBatch(out, theta []float64, u universe.Universe, lo, hi int) {
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		r := theta[0] - l.pred(u.PointInto(i, buf))
-		out[i-lo] = r * r / 2
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		r := theta[0] - l.pred(pts[k*dim:(k+1)*dim:(k+1)*dim])
+		out[k] = r * r / 2
 	}
+	release()
 }
 
 func (l *LinearQuery) GradBatch(grad, theta, w []float64, u universe.Universe, lo, hi int) {
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		wi := w[i-lo]
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		wi := w[k]
 		if wi == 0 {
 			continue
 		}
-		grad[0] += wi * (theta[0] - l.pred(u.PointInto(i, buf)))
+		grad[0] += wi * (theta[0] - l.pred(pts[k*dim:(k+1)*dim:(k+1)*dim]))
 	}
+	release()
 }
 
 func (l *LinearQuery) DirGradBatch(out, dir, theta []float64, u universe.Universe, lo, hi int) {
-	buf := make([]float64, u.Dim())
-	for i := lo; i < hi; i++ {
-		out[i-lo] = dir[0] * (theta[0] - l.pred(u.PointInto(i, buf)))
+	dim := u.Dim()
+	pts, release := xeval.MaterializePoints(u, lo, hi)
+	for k := 0; k < hi-lo; k++ {
+		out[k] = dir[0] * (theta[0] - l.pred(pts[k*dim:(k+1)*dim:(k+1)*dim]))
 	}
+	release()
 }
 
 // ---------------------------------------------------------------------------

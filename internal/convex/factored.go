@@ -1,0 +1,40 @@
+package convex
+
+// FactoredLoss is the capability interface of losses that read a record
+// only through a declared subset of its coordinates — marginals, parities
+// and other junta-style queries. Over an implicit product universe
+// (universe.Factored) such a loss's population expectation collapses to a
+// weighted sum over the small sub-cube spanned by its support
+// (universe.SupportUniverse), which is how the factored engine answers
+// queries on universes far past the dense-enumeration limit.
+type FactoredLoss interface {
+	Loss
+	// Support returns the record coordinates the loss reads, or nil when
+	// the loss has not declared a support (it must then be treated as
+	// reading the whole record). The returned slice is read-only.
+	Support() []int
+}
+
+// SupportOf returns the declared support of l, looking through the
+// Regularized and Scaled decorators: their extra terms depend on θ only,
+// never on the record, so a decorated loss inherits the inner support
+// unchanged. The second result is false when no support is declared
+// anywhere in the chain.
+func SupportOf(l Loss) ([]int, bool) {
+	for l != nil {
+		if fl, ok := l.(FactoredLoss); ok {
+			if s := fl.Support(); s != nil {
+				return s, true
+			}
+		}
+		w, ok := l.(interface{ Inner() Loss })
+		if !ok {
+			return nil, false
+		}
+		l = w.Inner()
+	}
+	return nil, false
+}
+
+// Compile-time check: LinearQuery carries the support declaration.
+var _ FactoredLoss = (*LinearQuery)(nil)

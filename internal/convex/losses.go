@@ -430,9 +430,10 @@ func (l *LinearForm) ExactMinimize(h *histogram.Histogram) []float64 {
 // whose population minimizer is exactly the query answer E_D[q(x)].
 // Predicates must map records into [0, 1].
 type LinearQuery struct {
-	name string
-	dom  *Interval
-	pred func(x []float64) float64
+	name    string
+	dom     *Interval
+	pred    func(x []float64) float64
+	support []int
 }
 
 // NewLinearQuery wraps a [0,1]-valued predicate as a CM query.
@@ -455,6 +456,19 @@ func (l *LinearQuery) Domain() Domain { return l.dom }
 
 // Predicate evaluates q(x).
 func (l *LinearQuery) Predicate(x []float64) float64 { return l.pred(x) }
+
+// WithSupport declares that the predicate reads only the given record
+// coordinates, unlocking factored evaluation over implicit universes. It
+// copies coords and returns the receiver for chaining. The declaration is
+// the caller's assertion — it is not verified here (the cross-engine
+// equivalence tests are the check).
+func (l *LinearQuery) WithSupport(coords []int) *LinearQuery {
+	l.support = append([]int(nil), coords...)
+	return l
+}
+
+// Support returns the declared support coordinates, nil when undeclared.
+func (l *LinearQuery) Support() []int { return l.support }
 
 // Value returns (θ − q(x))²/2.
 func (l *LinearQuery) Value(theta, x []float64) float64 {

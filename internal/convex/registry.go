@@ -194,8 +194,27 @@ func featureDim(u universe.Universe) (int, error) {
 	return d, nil
 }
 
-// featureBound returns the exact max over the universe of ‖x[:d]‖₂.
+// featureBound returns the exact max over the universe of ‖x[:d]‖₂. Past
+// the dense-enumeration limit, factored universes compute it coordinate by
+// coordinate: coordinates vary independently in a product universe, so the
+// max of the separable sum Σ x[j]² is the sum of per-coordinate maxima —
+// the same terms, added in the same order, as enumerating a point that
+// attains every per-coordinate maximum simultaneously.
 func featureBound(u universe.Universe, d int) float64 {
+	if f, ok := u.(universe.Factored); ok && u.Size() > universe.DenseLimit {
+		var n2 float64
+		for j := 0; j < d; j++ {
+			var worst float64
+			for lv := 0; lv < f.Levels(j); lv++ {
+				v := f.CoordValue(j, lv)
+				if v*v > worst {
+					worst = v * v
+				}
+			}
+			n2 += worst
+		}
+		return math.Sqrt(n2)
+	}
 	var worst float64
 	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
@@ -211,8 +230,31 @@ func featureBound(u universe.Universe, d int) float64 {
 	return math.Sqrt(worst)
 }
 
-// dotBound returns the exact max over the universe of |⟨v, x⟩|.
+// dotBound returns the exact max over the universe of |⟨v, x⟩|. Past the
+// dense-enumeration limit, factored universes again decompose per
+// coordinate: max⟨v, x⟩ and min⟨v, x⟩ are each sums of per-coordinate
+// extrema of v[j]·x[j], and the bound is the larger of max and −min
+// (negation of an IEEE sum is exact, so this matches what enumerating the
+// extremal points would produce bit for bit).
 func dotBound(u universe.Universe, v []float64) float64 {
+	if f, ok := u.(universe.Factored); ok && u.Size() > universe.DenseLimit {
+		var hiSum, loSum float64
+		for j := range v {
+			hiTerm, loTerm := math.Inf(-1), math.Inf(1)
+			for lv := 0; lv < f.Levels(j); lv++ {
+				t := v[j] * f.CoordValue(j, lv)
+				if t > hiTerm {
+					hiTerm = t
+				}
+				if t < loTerm {
+					loTerm = t
+				}
+			}
+			hiSum += hiTerm
+			loSum += loTerm
+		}
+		return math.Max(hiSum, -loSum)
+	}
 	var worst float64
 	buf := make([]float64, u.Dim())
 	for i := 0; i < u.Size(); i++ {
@@ -444,7 +486,7 @@ func init() {
 			}
 			w := append([]float64(nil), p.W...)
 			t := p.Threshold
-			return NewLinearQuery(shortName("halfspace", raw), func(x []float64) float64 {
+			q, err := NewLinearQuery(shortName("halfspace", raw), func(x []float64) float64 {
 				var s float64
 				for j := range w {
 					s += w[j] * x[j]
@@ -454,6 +496,18 @@ func init() {
 				}
 				return 0
 			})
+			if err != nil {
+				return nil, err
+			}
+			// Zero-weight coordinates contribute nothing to ⟨w, x⟩, so the
+			// predicate's support is exactly the nonzero entries of w.
+			supp := make([]int, 0, len(w))
+			for j, wj := range w {
+				if wj != 0 {
+					supp = append(supp, j)
+				}
+			}
+			return q.WithSupport(supp), nil
 		},
 	})
 
@@ -478,7 +532,7 @@ func init() {
 				return nil, fmt.Errorf("signs has %d entries, coords %d", len(signs), len(p.Coords))
 			}
 			coords := append([]int(nil), p.Coords...)
-			return NewLinearQuery(shortName("marginal", raw), func(x []float64) float64 {
+			q, err := NewLinearQuery(shortName("marginal", raw), func(x []float64) float64 {
 				for i, c := range coords {
 					if (x[c] > 0) != (signs[i] > 0) {
 						return 0
@@ -486,6 +540,10 @@ func init() {
 				}
 				return 1
 			})
+			if err != nil {
+				return nil, err
+			}
+			return q.WithSupport(coords), nil
 		},
 	})
 
@@ -499,7 +557,7 @@ func init() {
 				return nil, err
 			}
 			coords := append([]int(nil), p.Coords...)
-			return NewLinearQuery(shortName("parity", raw), func(x []float64) float64 {
+			q, err := NewLinearQuery(shortName("parity", raw), func(x []float64) float64 {
 				neg := false
 				for _, c := range coords {
 					if x[c] < 0 {
@@ -511,6 +569,10 @@ func init() {
 				}
 				return 1
 			})
+			if err != nil {
+				return nil, err
+			}
+			return q.WithSupport(coords), nil
 		},
 	})
 
@@ -523,12 +585,16 @@ func init() {
 				return nil, fmt.Errorf("coord %d outside universe dim %d", p.Coord, u.Dim())
 			}
 			c := p.Coord
-			return NewLinearQuery(shortName("positive", raw), func(x []float64) float64 {
+			q, err := NewLinearQuery(shortName("positive", raw), func(x []float64) float64 {
 				if x[c] > 0 {
 					return 1
 				}
 				return 0
 			})
+			if err != nil {
+				return nil, err
+			}
+			return q.WithSupport([]int{c}), nil
 		},
 	})
 }

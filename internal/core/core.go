@@ -58,6 +58,7 @@ import (
 	"repro/internal/optimize"
 	"repro/internal/sample"
 	"repro/internal/sparse"
+	"repro/internal/universe"
 	"repro/internal/vecmath"
 	"repro/internal/xeval"
 )
@@ -108,11 +109,39 @@ type Config struct {
 	// AccountantParams optionally carries accountant-specific JSON
 	// parameters (e.g. {"delta_prime": …} for "advanced").
 	AccountantParams json.RawMessage
+	// Engine selects the evaluation engine: "dense" enumerates the whole
+	// universe (the default, always correct, rejected with a typed
+	// universe-too-large error past 2^22 elements), "factored" exploits
+	// product structure to answer junta-supported losses without ever
+	// materializing X (requires a universe.Factored universe and losses
+	// with declared support), and "auto" picks dense when the universe fits
+	// and factored otherwise. Empty means "dense".
+	Engine string
 	// Trace enables per-update diagnostics (costs extra computation and
 	// reads the private data for *reporting only*; leave off outside
-	// experiments).
+	// experiments). Trace requires the dense engine: the diagnostics
+	// compare full histograms.
 	Trace bool
 }
+
+// Engine names accepted by Config.Engine.
+const (
+	EngineDense    = "dense"
+	EngineFactored = "factored"
+	EngineAuto     = "auto"
+)
+
+// ErrUnknownEngine is returned (wrapped) by New for an unrecognized
+// Config.Engine. The HTTP layer maps it to 400.
+var ErrUnknownEngine = errors.New("core: unknown engine (want dense, factored, or auto)")
+
+// ErrNeedsFactored is returned (wrapped) by New when the factored engine
+// is requested over a universe without product structure.
+var ErrNeedsFactored = errors.New("core: factored engine requires a product-structured universe")
+
+// ErrNeedsSupport is returned (wrapped) by Answer when the factored engine
+// receives a loss without a declared coordinate support.
+var ErrNeedsSupport = errors.New("core: factored engine requires a loss with declared coordinate support")
 
 // validate rejects malformed configurations.
 func (c Config) validate() error {
@@ -140,7 +169,40 @@ func (c Config) validate() error {
 	if c.Workers < 0 {
 		return fmt.Errorf("core: workers %d: %w", c.Workers, ErrInvalidWorkers)
 	}
+	switch c.Engine {
+	case "", EngineDense, EngineFactored, EngineAuto:
+	default:
+		return fmt.Errorf("%w: %q", ErrUnknownEngine, c.Engine)
+	}
 	return nil
+}
+
+// resolveEngine maps Config.Engine to the engine actually run over u.
+// The dense engine is the only place the universe is enumerated end to end,
+// so it carries the size guard: past universe.DenseLimit it is rejected
+// with a typed universe-too-large error instead of attempting the
+// allocation.
+func resolveEngine(name string, u universe.Universe) (string, error) {
+	factored := func() (string, error) {
+		if _, ok := u.(universe.Factored); !ok {
+			return "", fmt.Errorf("%w (universe %s)", ErrNeedsFactored, u.String())
+		}
+		return EngineFactored, nil
+	}
+	switch name {
+	case "", EngineDense:
+		if err := universe.EnsureDense(u); err != nil {
+			return "", fmt.Errorf("core: dense engine: %w", err)
+		}
+		return EngineDense, nil
+	case EngineFactored:
+		return factored()
+	default: // EngineAuto; validate() rejected everything else
+		if universe.EnsureDense(u) == nil {
+			return EngineDense, nil
+		}
+		return factored()
+	}
 }
 
 // ErrInvalidWorkers is returned (wrapped) by New for a negative
@@ -182,11 +244,14 @@ var ErrHalted = errors.New("core: server has halted")
 type Server struct {
 	cfg    Config
 	params Params
+	engine string // resolved engine name: EngineDense or EngineFactored
 	data   *dataset.Dataset
-	hist   *histogram.Histogram // private histogram of data
+	hist   *histogram.Histogram // private histogram of data (dense engine only)
 	src    *sample.Source
 	sv     *sparse.SV
-	state  *mw.State
+	state  *mw.State         // dense engine
+	fu     universe.Factored // factored engine: the product universe
+	fstate *mw.FactoredState // factored engine
 	eng    *xeval.Engine
 	acct   mech.Accountant
 	// callCost is the oracle's declared cost of one (ε₀, δ₀) call — what
@@ -207,6 +272,13 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 	}
 	if src == nil {
 		return nil, fmt.Errorf("core: nil random source")
+	}
+	engine, err := resolveEngine(cfg.Engine, data.U)
+	if err != nil {
+		return nil, err
+	}
+	if engine == EngineFactored && cfg.Trace {
+		return nil, fmt.Errorf("core: Trace requires the dense engine (diagnostics compare full histograms)")
 	}
 	xsize := data.U.Size()
 	// The MW regret bound caps useful updates at 64·S²·log|X|/α²; the
@@ -272,23 +344,34 @@ func New(cfg Config, data *dataset.Dataset, src *sample.Source) (*Server, error)
 	}
 	// validate() rejected negatives; xeval.New maps 0 to runtime.NumCPU().
 	eng := xeval.New(cfg.Workers)
-	state, err := mw.New(data.U, eta, cfg.S)
-	if err != nil {
-		return nil, err
-	}
-	state.SetEngine(eng)
-	return &Server{
+	srv := &Server{
 		cfg:      cfg,
 		params:   p,
+		engine:   engine,
 		data:     data,
-		hist:     data.Histogram(),
 		src:      src,
 		sv:       sv,
-		state:    state,
 		eng:      eng,
 		acct:     acct,
 		callCost: callCost,
-	}, nil
+	}
+	if engine == EngineFactored {
+		fu := data.U.(universe.Factored) // resolveEngine checked the assertion
+		fstate, err := mw.NewFactored(fu, eta, cfg.S)
+		if err != nil {
+			return nil, err
+		}
+		srv.fu, srv.fstate = fu, fstate
+	} else {
+		state, err := mw.New(data.U, eta, cfg.S)
+		if err != nil {
+			return nil, err
+		}
+		state.SetEngine(eng)
+		srv.state = state
+		srv.hist = data.Histogram()
+	}
+	return srv, nil
 }
 
 // svConfig is the sparse-vector configuration Figure 3 derives from the
@@ -309,6 +392,10 @@ func svConfig(cfg Config, p Params) sparse.Config {
 // Engine returns the server's universe-expectation engine.
 func (s *Server) Engine() *xeval.Engine { return s.eng }
 
+// EngineName returns the resolved evaluation engine in force: EngineDense
+// or EngineFactored ("auto" and "" resolve at construction).
+func (s *Server) EngineName() string { return s.engine }
+
 // Params returns the derived Figure-3 parameters.
 func (s *Server) Params() Params { return s.params }
 
@@ -317,15 +404,49 @@ func (s *Server) Halted() bool { return s.sv.Halted() }
 
 // Updates returns the number of MW updates performed so far (t−1 in the
 // paper's indexing).
-func (s *Server) Updates() int { return s.state.Updates() }
+func (s *Server) Updates() int {
+	if s.fstate != nil {
+		return s.fstate.Updates()
+	}
+	return s.state.Updates()
+}
 
 // Answered returns the number of queries answered so far.
 func (s *Server) Answered() int { return s.answered }
 
 // Hypothesis returns the current public hypothesis D̂t. Per the paper's
 // §4.3 remark, this doubles as a differentially private synthetic dataset:
-// it is a post-processing of the mechanism's private interactions.
-func (s *Server) Hypothesis() *histogram.Histogram { return s.state.Histogram().Clone() }
+// it is a post-processing of the mechanism's private interactions. Under
+// the factored engine the full histogram cannot be materialized (the
+// universe exceeds the dense limit) and Hypothesis returns nil; use
+// SupportHypothesis for marginals or SyntheticRows for a row-level release.
+func (s *Server) Hypothesis() *histogram.Histogram {
+	if s.fstate != nil {
+		return nil
+	}
+	return s.state.Histogram().Clone()
+}
+
+// SupportHypothesis returns the hypothesis's exact marginal distribution
+// over the sub-cube spanned by the given coordinates — the factored
+// engine's public view of D̂t, computed without enumerating the universe.
+// Only available under the factored engine.
+func (s *Server) SupportHypothesis(coords []int) (*histogram.Histogram, error) {
+	if s.fstate == nil {
+		return nil, fmt.Errorf("core: SupportHypothesis requires the factored engine (use Hypothesis)")
+	}
+	return s.fstate.SupportHistogram(coords)
+}
+
+// FactoredFootprint reports the factored hypothesis's materialized junta
+// components and total table cells — the memory the representation pays
+// for, independent of |X|. Zeros under the dense engine.
+func (s *Server) FactoredFootprint() (groups, cells int) {
+	if s.fstate == nil {
+		return 0, 0
+	}
+	return s.fstate.Components()
+}
 
 // SyntheticRows samples m records from the current hypothesis — a
 // row-level synthetic dataset release (§4.3: "our algorithm indeed can be
@@ -338,6 +459,9 @@ func (s *Server) SyntheticRows(src *sample.Source, m int) (*dataset.Dataset, err
 	}
 	if src == nil {
 		return nil, fmt.Errorf("core: nil random source")
+	}
+	if s.fstate != nil {
+		return dataset.New(s.data.U, s.fstate.SampleRows(src, m))
 	}
 	rows := s.state.Histogram().SampleRows(src, m)
 	return dataset.New(s.data.U, rows)
@@ -403,6 +527,9 @@ func (s *Server) Answer(l convex.Loss) ([]float64, error) {
 	if got := convex.ScaleBound(l); got > s.cfg.S+1e-9 {
 		return nil, fmt.Errorf("core: query scale bound %v exceeds configured S = %v", got, s.cfg.S)
 	}
+	if s.engine == EngineFactored {
+		return s.answerFactored(l)
+	}
 
 	// θ̂t: public minimizer on the current hypothesis.
 	thetaHat, err := s.publicMin(l)
@@ -452,6 +579,120 @@ func (s *Server) Answer(l convex.Loss) ([]float64, error) {
 		return nil, err
 	}
 	return theta, nil
+}
+
+// answerFactored is the factored engine's Answer: the same Figure-3
+// protocol, run entirely on the loss's declared support sub-cube. A loss
+// supported on coordinates C takes identical values on the embedded
+// sub-universe (universe.SupportUniverse pins non-support coordinates, the
+// loss never reads them), so the dense minimization and evaluation
+// machinery runs unchanged over |C|-many coordinates instead of |X|
+// elements — the released answers follow the exact definitions of the
+// dense path.
+func (s *Server) answerFactored(l convex.Loss) ([]float64, error) {
+	coords, ok := convex.SupportOf(l)
+	if !ok {
+		return nil, fmt.Errorf("%w: loss %q declares none", ErrNeedsSupport, l.Name())
+	}
+	subU, err := universe.SupportUniverse(s.fu, coords)
+	if err != nil {
+		return nil, fmt.Errorf("core: factored engine: %w", err)
+	}
+	iters := s.cfg.SolverIters
+	if iters <= 0 {
+		iters = 400
+	}
+	opts := optimize.Options{MaxIters: iters, Engine: s.eng}
+
+	// θ̂t: public minimizer on the hypothesis's support marginal. The
+	// marginal weights E[x ∈ cell] match the dense hypothesis exactly
+	// (product form is exact under junta updates), so this is the same
+	// argmin the dense path solves.
+	hyp, err := s.fstate.SupportHistogram(coords)
+	if err != nil {
+		return nil, err
+	}
+	hyp.U = subU // one materialization of the sub-cube for the whole answer
+	res, err := optimize.Minimize(l, hyp, opts)
+	if err != nil {
+		return nil, err
+	}
+	thetaHat := res.Theta
+
+	// Sensitive query value for SV, on the data's support marginal:
+	// ℓ_D(θ) = Σ_cell P_D(cell)·ℓ_cell(θ) because the loss reads only the
+	// support coordinates, so err_ℓ(D, D̂t) is unchanged from its dense
+	// definition.
+	dataHist, err := s.supportData(coords, subU)
+	if err != nil {
+		return nil, err
+	}
+	minD, err := optimize.MinValue(l, dataHist, opts)
+	if err != nil {
+		return nil, err
+	}
+	qval := convex.EvalOn(s.eng, l, thetaHat, dataHist) - minD
+	if qval < 0 {
+		qval = 0
+	}
+	top, err := s.sv.Query(qval)
+	if err != nil {
+		if err == sparse.ErrHalted {
+			return nil, ErrHalted
+		}
+		return nil, err
+	}
+	s.answered++
+	if !top {
+		return thetaHat, nil
+	}
+
+	// ⊤: private single-query solve, then the MW update on the support.
+	theta, err := s.cfg.Oracle.Answer(s.src, l, s.data, s.params.Eps0, s.params.Delta0)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle %q failed: %w", s.cfg.Oracle.Name(), err)
+	}
+	if err := s.acct.Spend(s.callCost); err != nil {
+		return nil, fmt.Errorf("core: recording oracle spend: %w", err)
+	}
+	if dom := l.Domain(); len(theta) != dom.Dim() {
+		return nil, fmt.Errorf("core: oracle %q returned dimension %d, want %d",
+			s.cfg.Oracle.Name(), len(theta), dom.Dim())
+	} else if !dom.Contains(theta, 1e-9) {
+		theta = dom.Project(theta)
+	}
+
+	// Claim-3.5 certificate over the sub-cube, in the SupportIndex layout
+	// FactoredState.Update expects (SupportUniverse enumerates the same
+	// order).
+	uvec := make([]float64, subU.Size())
+	convex.DirGradOn(s.eng, l, uvec, vecmath.Sub(theta, thetaHat), thetaHat, subU)
+	s.eng.ForEach(subU.Size(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			v := uvec[i]
+			if v > s.cfg.S && v <= s.cfg.S*(1+1e-12) {
+				uvec[i] = s.cfg.S
+			} else if v < -s.cfg.S && v >= -s.cfg.S*(1+1e-12) {
+				uvec[i] = -s.cfg.S
+			}
+		}
+	})
+	if err := s.fstate.Update(coords, uvec); err != nil {
+		return nil, fmt.Errorf("core: factored MW update: %w", err)
+	}
+	return theta, nil
+}
+
+// supportData returns the private dataset's exact marginal histogram over
+// the support sub-cube: each row contributes to the cell its support
+// coordinates project to. O(n·dim), never enumerating the universe.
+func (s *Server) supportData(coords []int, subU universe.Universe) (*histogram.Histogram, error) {
+	counts := make([]int, subU.Size())
+	buf := make([]int, s.fu.Dim())
+	for _, r := range s.data.Rows {
+		counts[universe.ProjectIndex(s.fu, coords, r, buf)]++
+	}
+	return histogram.FromCounts(subU, counts)
 }
 
 // update applies the dual-certificate MW step of Figure 3. The certificate

@@ -42,7 +42,12 @@ type Snapshot struct {
 	// noise stream).
 	SV sparse.Export `json:"sv"`
 	// MW is the multiplicative-weights hypothesis (log-weight vector).
+	// Dense engine only; zero-valued under the factored engine.
 	MW mw.Export `json:"mw"`
+	// MWF is the product-form hypothesis of the factored engine (per-junta
+	// log-weight tables). Nil under the dense engine, so dense snapshots
+	// serialize byte-identically to before the field existed.
+	MWF *mw.FactoredExport `json:"mwf,omitempty"`
 	// Accountant is the privacy ledger.
 	Accountant mech.AccountantState `json:"accountant"`
 }
@@ -51,14 +56,20 @@ type Snapshot struct {
 // the caller owns serialization (internal/persist wraps snapshots in
 // versioned envelopes).
 func (s *Server) Snapshot() *Snapshot {
-	return &Snapshot{
+	snap := &Snapshot{
 		Params:     s.params,
 		Answered:   s.answered,
 		Src:        s.src.State(),
 		SV:         s.sv.Export(),
-		MW:         s.state.Export(),
 		Accountant: s.acct.Export(),
 	}
+	if s.fstate != nil {
+		ex := s.fstate.Export()
+		snap.MWF = &ex
+	} else {
+		snap.MW = s.state.Export()
+	}
+	return snap
 }
 
 // Restore reconstructs a mid-interaction Server from cfg, the private
@@ -90,13 +101,34 @@ func Restore(cfg Config, data *dataset.Dataset, snap *Snapshot) (*Server, error)
 	if err != nil {
 		return nil, err
 	}
-	st, err := mw.FromExport(data.U, snap.MW)
-	if err != nil {
-		return nil, err
-	}
-	if st.Eta() != srv.params.Eta || st.Scale() != cfg.S {
-		return nil, fmt.Errorf("core: snapshot MW parameters (η=%v, S=%v) do not match derived (η=%v, S=%v)",
-			st.Eta(), st.Scale(), srv.params.Eta, cfg.S)
+	if srv.fstate != nil {
+		// Factored engine: the snapshot must carry the product-form
+		// hypothesis, and its parameters must match the re-derivation.
+		if snap.MWF == nil {
+			return nil, fmt.Errorf("core: snapshot has no factored MW state but the configuration resolves to the factored engine")
+		}
+		fst, err := mw.FactoredFromExport(srv.fu, *snap.MWF)
+		if err != nil {
+			return nil, err
+		}
+		if fst.Eta() != srv.params.Eta || fst.Scale() != cfg.S {
+			return nil, fmt.Errorf("core: snapshot MW parameters (η=%v, S=%v) do not match derived (η=%v, S=%v)",
+				fst.Eta(), fst.Scale(), srv.params.Eta, cfg.S)
+		}
+		srv.fstate = fst
+	} else {
+		if snap.MWF != nil {
+			return nil, fmt.Errorf("core: snapshot carries factored MW state but the configuration resolves to the dense engine")
+		}
+		st, err := mw.FromExport(data.U, snap.MW)
+		if err != nil {
+			return nil, err
+		}
+		if st.Eta() != srv.params.Eta || st.Scale() != cfg.S {
+			return nil, fmt.Errorf("core: snapshot MW parameters (η=%v, S=%v) do not match derived (η=%v, S=%v)",
+				st.Eta(), st.Scale(), srv.params.Eta, cfg.S)
+		}
+		srv.state = st.SetEngine(srv.eng)
 	}
 	if err := srv.acct.Restore(snap.Accountant); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
@@ -107,7 +139,6 @@ func Restore(cfg Config, data *dataset.Dataset, snap *Snapshot) (*Server, error)
 	}
 	srv.src = src
 	srv.sv = sv
-	srv.state = st.SetEngine(srv.eng)
 	srv.answered = snap.Answered
 	return srv, nil
 }

@@ -33,9 +33,21 @@ import (
 	"repro/internal/mech"
 	"repro/internal/optimize"
 	"repro/internal/sample"
+	"repro/internal/universe"
 	"repro/internal/vecmath"
 	"repro/internal/xeval"
 )
+
+// ensureDenseData guards the oracles whose Answer sweeps the full universe
+// histogram: past the dense-enumeration limit they cannot run, and the
+// caller should pair the factored engine with a histogram-free oracle
+// (LaplaceLinear answers from rows alone).
+func ensureDenseData(name string, data *dataset.Dataset) error {
+	if err := universe.EnsureDense(data.U); err != nil {
+		return fmt.Errorf("erm: oracle %q: %w", name, err)
+	}
+	return nil
+}
 
 // Oracle answers one CM query under (ε, δ)-differential privacy.
 type Oracle interface {
@@ -139,6 +151,9 @@ func (o NoisyGD) Answer(src *sample.Source, l convex.Loss, data *dataset.Dataset
 		return nil, err
 	}
 
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
+	}
 	dom := l.Domain()
 	d := dom.Dim()
 	h := data.Histogram()
@@ -205,6 +220,9 @@ func (o OutputPerturbation) Answer(src *sample.Source, l convex.Loss, data *data
 	iters := o.SolverIters
 	if iters <= 0 {
 		iters = 800
+	}
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
 	}
 	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters, Engine: o.Engine})
 	if err != nil {
@@ -305,6 +323,9 @@ func (o NetExpMech) Answer(src *sample.Source, l convex.Loss, data *dataset.Data
 	}
 	sens := rangeB / float64(data.N())
 
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
+	}
 	h := data.Histogram()
 	scores := make([]float64, len(net))
 	for i, th := range net {
@@ -342,6 +363,9 @@ func (o NonPrivate) Answer(_ *sample.Source, l convex.Loss, data *dataset.Datase
 	iters := o.SolverIters
 	if iters <= 0 {
 		iters = 800
+	}
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
 	}
 	res, err := optimize.Minimize(l, data.Histogram(), optimize.Options{MaxIters: iters, Engine: o.Engine})
 	if err != nil {

@@ -157,6 +157,9 @@ func (o GLMReduction) Answer(src *sample.Source, l convex.Loss, data *dataset.Da
 		return nil, err
 	}
 
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
+	}
 	h := data.Histogram()
 	theta := redBall.Center()
 	avg := vecmath.Copy(theta)

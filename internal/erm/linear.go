@@ -7,6 +7,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/mech"
 	"repro/internal/sample"
+	"repro/internal/universe"
 	"repro/internal/vecmath"
 )
 
@@ -31,7 +32,21 @@ func (LaplaceLinear) Answer(src *sample.Source, l convex.Loss, data *dataset.Dat
 	if !ok {
 		return nil, fmt.Errorf("erm: LaplaceLinear requires a LinearQuery loss, got %T", l)
 	}
-	exact := lq.ExactMinimize(data.Histogram())[0]
+	var exact float64
+	if data.U.Size() > universe.DenseLimit {
+		// Row-sum path for universes too large to histogram: the predicate
+		// mean over rows is the same quantity, at O(n) instead of O(|X|).
+		// Gated on size because row-order summation rounds differently from
+		// cell-order and the dense path's bytes are pinned by golden tests.
+		var sum float64
+		buf := make([]float64, data.U.Dim())
+		for _, r := range data.Rows {
+			sum += lq.Predicate(data.U.PointInto(r, buf))
+		}
+		exact = vecmath.Clamp(sum/float64(data.N()), 0, 1)
+	} else {
+		exact = lq.ExactMinimize(data.Histogram())[0]
+	}
 	noisy, err := mech.Laplace(src, exact, 1/float64(data.N()), eps)
 	if err != nil {
 		return nil, err

@@ -79,6 +79,9 @@ func (o ObjectivePerturbation) Answer(src *sample.Source, l convex.Loss, data *d
 	for i := range b {
 		b[i] = src.Gaussian(0, sigmaB) / n
 	}
+	if err := ensureDenseData(o.Name(), data); err != nil {
+		return nil, err
+	}
 	res, err := optimize.Minimize(perturbed{Loss: l, b: b}, data.Histogram(), optimize.Options{MaxIters: iters})
 	if err != nil {
 		return nil, err

@@ -29,6 +29,11 @@ type RunConfig struct {
 	// Workers this changes derived horizons: "zcdp" sessions sustain more
 	// MW updates at the same budget when oracles are Gaussian-based.
 	Accountant string
+	// Engine selects the core evaluation engine for every server the
+	// experiments build ("" = dense; see core.Config.Engine). The bundled
+	// experiments run on small universes where dense is the right choice;
+	// the knob exists so the same harness can exercise the factored path.
+	Engine string
 }
 
 // Experiment is one reproducible experiment.

@@ -299,10 +299,13 @@ func statusFor(err error) int {
 	case errors.Is(err, ErrCheckpoint):
 		// The durable write failed; the session state is intact in memory.
 		return http.StatusInternalServerError
-	case errors.Is(err, core.ErrInvalidWorkers), errors.Is(err, mech.ErrUnknownAccountant):
-		// Malformed session request (e.g. "workers": -1 or an unregistered
-		// accountant name): a client error, listed explicitly so the
-		// mapping is load-bearing, not accidental.
+	case errors.Is(err, core.ErrInvalidWorkers), errors.Is(err, mech.ErrUnknownAccountant),
+		errors.Is(err, core.ErrUnknownEngine), errors.Is(err, core.ErrNeedsFactored),
+		errors.Is(err, core.ErrNeedsSupport):
+		// Malformed session request (e.g. "workers": -1, an unregistered
+		// accountant name, or an engine the universe or loss cannot
+		// satisfy): a client error, listed explicitly so the mapping is
+		// load-bearing, not accidental.
 		return http.StatusBadRequest
 	default:
 		return http.StatusBadRequest

@@ -128,6 +128,12 @@ type SessionParams struct {
 	// AccountantParams optionally carries accountant-specific JSON
 	// parameters (e.g. {"delta_prime": …} for "advanced").
 	AccountantParams json.RawMessage `json:"accountant_params,omitempty"`
+	// Engine selects the session's evaluation engine ("dense", "factored",
+	// "auto"; empty = the manager's default, itself defaulting to dense —
+	// see core.Config.Engine). "factored" answers junta-supported losses
+	// without materializing the universe; unknown names are rejected with
+	// HTTP 400.
+	Engine string `json:"engine,omitempty"`
 }
 
 // merged fills zero fields from defaults.
@@ -155,6 +161,9 @@ func (p SessionParams) merged(def SessionParams) SessionParams {
 	}
 	if p.Workers == 0 {
 		p.Workers = def.Workers
+	}
+	if p.Engine == "" {
+		p.Engine = def.Engine
 	}
 	if p.Accountant == "" {
 		p.Accountant = def.Accountant
@@ -298,6 +307,7 @@ func (m *Manager) coreConfig(p SessionParams) core.Config {
 		Workers:          p.Workers,
 		Accountant:       p.Accountant,
 		AccountantParams: p.AccountantParams,
+		Engine:           p.Engine,
 	}
 }
 

@@ -646,6 +646,9 @@ type SessionStatus struct {
 	// Accountant is the accounting mode composing the session's spends.
 	Accountant string `json:"accountant"`
 
+	// Engine is the resolved evaluation engine ("dense" or "factored").
+	Engine string `json:"engine"`
+
 	// EpsBudget, DeltaBudget is the session's total budget; EpsSpent,
 	// DeltaSpent the mechanism's current privacy bound for the interaction
 	// so far (the up-front sparse-vector slice plus composed oracle calls);
@@ -684,6 +687,7 @@ func (s *Session) Status() SessionStatus {
 		UpdatesMax:     p.T,
 		CacheHits:      s.cacheHits.Load(),
 		Accountant:     srv.AccountantName(),
+		Engine:         srv.EngineName(),
 		EpsBudget:      s.params.Eps,
 		DeltaBudget:    s.params.Delta,
 		EpsSpent:       priv.Eps,

@@ -1,0 +1,201 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// benchSizes are the micro-benchmark vector lengths: L1-resident, L2/L3,
+// and memory-bound.
+var benchSizes = []struct {
+	name string
+	n    int
+}{
+	{"1k", 1 << 10},
+	{"64k", 1 << 16},
+	{"1M", 1 << 20},
+}
+
+func benchVec(n int, seed int64, scale float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]float64, n)
+	for i := range a {
+		a[i] = rng.NormFloat64() * scale
+	}
+	return a
+}
+
+// BenchmarkExpShiftedSum measures the blocked softmax-exp kernel (the MW
+// histogram materialization inner loop).
+func BenchmarkExpShiftedSum(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 1, 5)
+			dst := make([]float64, s.n)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = ExpShiftedSum(dst, a, 2.5)
+			}
+		})
+	}
+}
+
+// BenchmarkExpShiftedSumScalar is the pre-optimization reference loop,
+// kept so one bench run shows the blocked kernel's speedup directly.
+func BenchmarkExpShiftedSumScalar(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 1, 5)
+			dst := make([]float64, s.n)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = expShiftedSumScalar(dst, a, 2.5)
+			}
+		})
+	}
+}
+
+// BenchmarkAddScaledMax measures the blocked MW update kernel.
+func BenchmarkAddScaledMax(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 2, 1)
+			dst := benchVec(s.n, 3, 1)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = AddScaledMax(dst, -1e-9, a)
+			}
+		})
+	}
+}
+
+// BenchmarkAddScaledMaxScalar is the pre-optimization reference loop.
+func BenchmarkAddScaledMaxScalar(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 2, 1)
+			dst := benchVec(s.n, 3, 1)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = addScaledMaxScalar(dst, -1e-9, a)
+			}
+		})
+	}
+}
+
+// BenchmarkDot measures the order-preserving unrolled inner product.
+func BenchmarkDot(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 4, 1)
+			c := benchVec(s.n, 5, 1)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = Dot(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkDotScalar is the pre-optimization reference loop.
+func BenchmarkDotScalar(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 4, 1)
+			c := benchVec(s.n, 5, 1)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = dotScalar(a, c)
+			}
+		})
+	}
+}
+
+// BenchmarkSoftmax measures the fused softmax (max + blocked exp + divide).
+func BenchmarkSoftmax(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 6, 5)
+			dst := make([]float64, s.n)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Softmax(dst, a)
+			}
+		})
+	}
+}
+
+// BenchmarkSoftmaxScalar is the pre-optimization reference loop.
+func BenchmarkSoftmaxScalar(b *testing.B) {
+	for _, s := range benchSizes {
+		b.Run(s.name, func(b *testing.B) {
+			a := benchVec(s.n, 6, 5)
+			dst := make([]float64, s.n)
+			b.SetBytes(int64(8 * s.n))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				softmaxScalar(dst, a)
+			}
+		})
+	}
+}
+
+// sinkFloat keeps benchmarked results observable so loops aren't elided.
+var sinkFloat float64
+
+// Reference (pre-optimization) kernel bodies, preserved verbatim for the
+// Scalar benchmarks above and the bit-equality tests in exp_test.go.
+
+func expShiftedSumScalar(dst, a []float64, shift float64) float64 {
+	var s float64
+	for i, v := range a {
+		e := math.Exp(v - shift)
+		dst[i] = e
+		s += e
+	}
+	return s
+}
+
+func addScaledMaxScalar(dst []float64, c float64, a []float64) float64 {
+	m := math.Inf(-1)
+	for i := range dst {
+		dst[i] += c * a[i]
+		if dst[i] > m {
+			m = dst[i]
+		}
+	}
+	return m
+}
+
+func dotScalar(a, b []float64) float64 {
+	var s float64
+	for i, ai := range a {
+		s += ai * b[i]
+	}
+	return s
+}
+
+func softmaxScalar(dst, a []float64) []float64 {
+	if len(a) == 0 {
+		return dst
+	}
+	m, _ := Max(a)
+	var z float64
+	for i, v := range a {
+		e := math.Exp(v - m)
+		dst[i] = e
+		z += e
+	}
+	for i := range dst {
+		dst[i] /= z
+	}
+	return dst
+}

@@ -1,0 +1,378 @@
+// Four-lane exponential kernels for amd64, used by ExpShiftedSum.
+//
+// Each routine is a straight-line, branch-free 4-way interleaving of the
+// scalar exp kernel in the Go runtime (math/exp_amd64.s, a simplified form
+// of the SLEEF method of Naoki Shibata, "Efficient evaluation methods of
+// elementary functions suitable for SIMD computation", ISC'10). The Go
+// callers guarantee every argument lies strictly inside (-708, 709), so
+// the overflow / underflow / denormal branches of the scalar original are
+// unreachable and omitted; within that domain each lane performs exactly
+// the scalar instruction sequence, so results are bit-identical to
+// math.Exp (expFMA4Asm matches the FMA path taken on AVX+FMA CPUs,
+// expSSE4Asm the plain-SSE path). Package init verifies that equivalence
+// against math.Exp before installing either kernel.
+//
+// The four lanes have no cross dependencies, so out-of-order cores overlap
+// their ~20-operation latency chains almost completely — that, plus losing
+// the per-element CALL, is the entire speedup.
+
+#include "textflag.h"
+
+#define LOG2E 1.4426950408889634073599246810018920
+#define LN2U 0.69314718055966295651160180568695068359375
+#define LN2L 0.28235290563031577122588448175013436025525412068e-12
+
+DATA exp4data<>+0(SB)/8, $0.5
+DATA exp4data<>+8(SB)/8, $1.0
+DATA exp4data<>+16(SB)/8, $2.0
+DATA exp4data<>+24(SB)/8, $1.6666666666666666667e-1
+DATA exp4data<>+32(SB)/8, $4.1666666666666666667e-2
+DATA exp4data<>+40(SB)/8, $8.3333333333333333333e-3
+DATA exp4data<>+48(SB)/8, $1.3888888888888888889e-3
+DATA exp4data<>+56(SB)/8, $1.9841269841269841270e-4
+DATA exp4data<>+64(SB)/8, $2.4801587301587301587e-5
+GLOBL exp4data<>+0(SB), RODATA, $72
+
+// func expFMA4Asm(x0, x1, x2, x3 float64) (y0, y1, y2, y3 float64)
+TEXT ·expFMA4Asm(SB), NOSPLIT, $0-64
+	MOVSD x0+0(FP), X0
+	MOVSD x1+8(FP), X1
+	MOVSD x2+16(FP), X2
+	MOVSD x3+24(FP), X3
+	// k = round-to-nearest(x / ln 2); kf = float64(k)
+	MOVSD $LOG2E, X12
+	VMULSD X12, X0, X8
+	VMULSD X12, X1, X9
+	VMULSD X12, X2, X10
+	VMULSD X12, X3, X11
+	CVTSD2SL X8, AX
+	CVTSD2SL X9, BX
+	CVTSD2SL X10, CX
+	CVTSD2SL X11, DX
+	CVTSL2SD AX, X8
+	CVTSL2SD BX, X9
+	CVTSL2SD CX, X10
+	CVTSL2SD DX, X11
+	// r = x - kf*LN2U - kf*LN2L (each step fused)
+	MOVSD $LN2U, X12
+	VFNMADD231SD X12, X8, X0
+	VFNMADD231SD X12, X9, X1
+	VFNMADD231SD X12, X10, X2
+	VFNMADD231SD X12, X11, X3
+	MOVSD $LN2L, X12
+	VFNMADD231SD X12, X8, X0
+	VFNMADD231SD X12, X9, X1
+	VFNMADD231SD X12, X10, X2
+	VFNMADD231SD X12, X11, X3
+	MULSD $0.0625, X0
+	MULSD $0.0625, X1
+	MULSD $0.0625, X2
+	MULSD $0.0625, X3
+	// Taylor series in r
+	MOVSD exp4data<>+64(SB), X4
+	MOVAPS X4, X5
+	MOVAPS X4, X6
+	MOVAPS X4, X7
+	VFMADD213SD exp4data<>+56(SB), X0, X4
+	VFMADD213SD exp4data<>+56(SB), X1, X5
+	VFMADD213SD exp4data<>+56(SB), X2, X6
+	VFMADD213SD exp4data<>+56(SB), X3, X7
+	VFMADD213SD exp4data<>+48(SB), X0, X4
+	VFMADD213SD exp4data<>+48(SB), X1, X5
+	VFMADD213SD exp4data<>+48(SB), X2, X6
+	VFMADD213SD exp4data<>+48(SB), X3, X7
+	VFMADD213SD exp4data<>+40(SB), X0, X4
+	VFMADD213SD exp4data<>+40(SB), X1, X5
+	VFMADD213SD exp4data<>+40(SB), X2, X6
+	VFMADD213SD exp4data<>+40(SB), X3, X7
+	VFMADD213SD exp4data<>+32(SB), X0, X4
+	VFMADD213SD exp4data<>+32(SB), X1, X5
+	VFMADD213SD exp4data<>+32(SB), X2, X6
+	VFMADD213SD exp4data<>+32(SB), X3, X7
+	VFMADD213SD exp4data<>+24(SB), X0, X4
+	VFMADD213SD exp4data<>+24(SB), X1, X5
+	VFMADD213SD exp4data<>+24(SB), X2, X6
+	VFMADD213SD exp4data<>+24(SB), X3, X7
+	VFMADD213SD exp4data<>+0(SB), X0, X4
+	VFMADD213SD exp4data<>+0(SB), X1, X5
+	VFMADD213SD exp4data<>+0(SB), X2, X6
+	VFMADD213SD exp4data<>+0(SB), X3, X7
+	VFMADD213SD exp4data<>+8(SB), X0, X4
+	VFMADD213SD exp4data<>+8(SB), X1, X5
+	VFMADD213SD exp4data<>+8(SB), X2, X6
+	VFMADD213SD exp4data<>+8(SB), X3, X7
+	MULSD X4, X0
+	MULSD X5, X1
+	MULSD X6, X2
+	MULSD X7, X3
+	// undo the 1/16 reduction: x = x*(2+x) three times, then fused +1
+	VADDSD exp4data<>+16(SB), X0, X8
+	VADDSD exp4data<>+16(SB), X1, X9
+	VADDSD exp4data<>+16(SB), X2, X10
+	VADDSD exp4data<>+16(SB), X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	VADDSD exp4data<>+16(SB), X0, X8
+	VADDSD exp4data<>+16(SB), X1, X9
+	VADDSD exp4data<>+16(SB), X2, X10
+	VADDSD exp4data<>+16(SB), X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	VADDSD exp4data<>+16(SB), X0, X8
+	VADDSD exp4data<>+16(SB), X1, X9
+	VADDSD exp4data<>+16(SB), X2, X10
+	VADDSD exp4data<>+16(SB), X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	VADDSD exp4data<>+16(SB), X0, X8
+	VADDSD exp4data<>+16(SB), X1, X9
+	VADDSD exp4data<>+16(SB), X2, X10
+	VADDSD exp4data<>+16(SB), X3, X11
+	VFMADD213SD exp4data<>+8(SB), X8, X0
+	VFMADD213SD exp4data<>+8(SB), X9, X1
+	VFMADD213SD exp4data<>+8(SB), X10, X2
+	VFMADD213SD exp4data<>+8(SB), X11, X3
+	// scale by 2^k (k+1023 is always in (0, 2047) on this domain)
+	ADDL $0x3FF, AX
+	ADDL $0x3FF, BX
+	ADDL $0x3FF, CX
+	ADDL $0x3FF, DX
+	SHLQ $52, AX
+	SHLQ $52, BX
+	SHLQ $52, CX
+	SHLQ $52, DX
+	MOVQ AX, X8
+	MOVQ BX, X9
+	MOVQ CX, X10
+	MOVQ DX, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	MOVSD X0, y0+32(FP)
+	MOVSD X1, y1+40(FP)
+	MOVSD X2, y2+48(FP)
+	MOVSD X3, y3+56(FP)
+	RET
+
+// func expSSE4Asm(x0, x1, x2, x3 float64) (y0, y1, y2, y3 float64)
+TEXT ·expSSE4Asm(SB), NOSPLIT, $0-64
+	MOVSD x0+0(FP), X0
+	MOVSD x1+8(FP), X1
+	MOVSD x2+16(FP), X2
+	MOVSD x3+24(FP), X3
+	// k = round-to-nearest(x / ln 2); kf = float64(k)
+	MOVSD $LOG2E, X12
+	MOVAPS X0, X8
+	MOVAPS X1, X9
+	MOVAPS X2, X10
+	MOVAPS X3, X11
+	MULSD X12, X8
+	MULSD X12, X9
+	MULSD X12, X10
+	MULSD X12, X11
+	CVTSD2SL X8, AX
+	CVTSD2SL X9, BX
+	CVTSD2SL X10, CX
+	CVTSD2SL X11, DX
+	CVTSL2SD AX, X8
+	CVTSL2SD BX, X9
+	CVTSL2SD CX, X10
+	CVTSL2SD DX, X11
+	// r = x - kf*LN2U - kf*LN2L (individually rounded, as in the original)
+	MOVSD $LN2U, X12
+	MOVAPS X8, X13
+	MULSD X12, X13
+	SUBSD X13, X0
+	MOVAPS X9, X13
+	MULSD X12, X13
+	SUBSD X13, X1
+	MOVAPS X10, X13
+	MULSD X12, X13
+	SUBSD X13, X2
+	MOVAPS X11, X13
+	MULSD X12, X13
+	SUBSD X13, X3
+	MOVSD $LN2L, X12
+	MOVAPS X8, X13
+	MULSD X12, X13
+	SUBSD X13, X0
+	MOVAPS X9, X13
+	MULSD X12, X13
+	SUBSD X13, X1
+	MOVAPS X10, X13
+	MULSD X12, X13
+	SUBSD X13, X2
+	MOVAPS X11, X13
+	MULSD X12, X13
+	SUBSD X13, X3
+	MULSD $0.0625, X0
+	MULSD $0.0625, X1
+	MULSD $0.0625, X2
+	MULSD $0.0625, X3
+	// Taylor series in r
+	MOVSD exp4data<>+64(SB), X4
+	MOVAPS X4, X5
+	MOVAPS X4, X6
+	MOVAPS X4, X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+56(SB), X4
+	ADDSD exp4data<>+56(SB), X5
+	ADDSD exp4data<>+56(SB), X6
+	ADDSD exp4data<>+56(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+48(SB), X4
+	ADDSD exp4data<>+48(SB), X5
+	ADDSD exp4data<>+48(SB), X6
+	ADDSD exp4data<>+48(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+40(SB), X4
+	ADDSD exp4data<>+40(SB), X5
+	ADDSD exp4data<>+40(SB), X6
+	ADDSD exp4data<>+40(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+32(SB), X4
+	ADDSD exp4data<>+32(SB), X5
+	ADDSD exp4data<>+32(SB), X6
+	ADDSD exp4data<>+32(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+24(SB), X4
+	ADDSD exp4data<>+24(SB), X5
+	ADDSD exp4data<>+24(SB), X6
+	ADDSD exp4data<>+24(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+0(SB), X4
+	ADDSD exp4data<>+0(SB), X5
+	ADDSD exp4data<>+0(SB), X6
+	ADDSD exp4data<>+0(SB), X7
+	MULSD X0, X4
+	MULSD X1, X5
+	MULSD X2, X6
+	MULSD X3, X7
+	ADDSD exp4data<>+8(SB), X4
+	ADDSD exp4data<>+8(SB), X5
+	ADDSD exp4data<>+8(SB), X6
+	ADDSD exp4data<>+8(SB), X7
+	MULSD X4, X0
+	MULSD X5, X1
+	MULSD X6, X2
+	MULSD X7, X3
+	// undo the 1/16 reduction: x = x*(2+x) four times, then +1
+	MOVSD exp4data<>+16(SB), X12
+	MOVAPS X12, X8
+	MOVAPS X12, X9
+	MOVAPS X12, X10
+	MOVAPS X12, X11
+	ADDSD X0, X8
+	ADDSD X1, X9
+	ADDSD X2, X10
+	ADDSD X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	MOVAPS X12, X8
+	MOVAPS X12, X9
+	MOVAPS X12, X10
+	MOVAPS X12, X11
+	ADDSD X0, X8
+	ADDSD X1, X9
+	ADDSD X2, X10
+	ADDSD X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	MOVAPS X12, X8
+	MOVAPS X12, X9
+	MOVAPS X12, X10
+	MOVAPS X12, X11
+	ADDSD X0, X8
+	ADDSD X1, X9
+	ADDSD X2, X10
+	ADDSD X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	MOVAPS X12, X8
+	MOVAPS X12, X9
+	MOVAPS X12, X10
+	MOVAPS X12, X11
+	ADDSD X0, X8
+	ADDSD X1, X9
+	ADDSD X2, X10
+	ADDSD X3, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	ADDSD exp4data<>+8(SB), X0
+	ADDSD exp4data<>+8(SB), X1
+	ADDSD exp4data<>+8(SB), X2
+	ADDSD exp4data<>+8(SB), X3
+	// scale by 2^k (k+1023 is always in (0, 2047) on this domain)
+	ADDL $0x3FF, AX
+	ADDL $0x3FF, BX
+	ADDL $0x3FF, CX
+	ADDL $0x3FF, DX
+	SHLQ $52, AX
+	SHLQ $52, BX
+	SHLQ $52, CX
+	SHLQ $52, DX
+	MOVQ AX, X8
+	MOVQ BX, X9
+	MOVQ CX, X10
+	MOVQ DX, X11
+	MULSD X8, X0
+	MULSD X9, X1
+	MULSD X10, X2
+	MULSD X11, X3
+	MOVSD X0, y0+32(FP)
+	MOVSD X1, y1+40(FP)
+	MOVSD X2, y2+48(FP)
+	MOVSD X3, y3+56(FP)
+	RET
+
+// func cpuidVM(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidVM(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvVM() (eax, edx uint32)
+TEXT ·xgetbvVM(SB), NOSPLIT, $0-8
+	MOVL $0, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

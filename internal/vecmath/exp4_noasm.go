@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package vecmath
+
+// expKernelCandidates lists four-lane exp kernels to probe at init. Off
+// amd64 only the portable Go translations are available; on platforms
+// where math.Exp uses a different algorithm the probe rejects both and
+// ExpShiftedSum stays on the math.Exp fallback.
+func expKernelCandidates() []func(x0, x1, x2, x3 float64) (float64, float64, float64, float64) {
+	return []func(x0, x1, x2, x3 float64) (float64, float64, float64, float64){expFMA4, expSSE4}
+}

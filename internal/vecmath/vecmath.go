@@ -18,12 +18,27 @@ func checkLen(op string, a, b []float64) {
 	}
 }
 
-// Dot returns the inner product ⟨a, b⟩.
+// Dot returns the inner product ⟨a, b⟩, accumulated in index order (the
+// result is bit-reproducible, so the unroll below must not reassociate the
+// sum — only the four products per block compute independently).
 func Dot(a, b []float64) float64 {
 	checkLen("Dot", a, b)
 	var s float64
-	for i, ai := range a {
-		s += ai * b[i]
+	n := len(a)
+	b = b[:n]
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		m0 := a[i] * b[i]
+		m1 := a[i+1] * b[i+1]
+		m2 := a[i+2] * b[i+2]
+		m3 := a[i+3] * b[i+3]
+		s += m0
+		s += m1
+		s += m2
+		s += m3
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
@@ -234,13 +249,16 @@ func Softmax(dst, a []float64) []float64 {
 		return dst
 	}
 	m, _ := Max(a)
-	var z float64
-	for i, v := range a {
-		e := math.Exp(v - m)
-		dst[i] = e
-		z += e
+	z := ExpShiftedSum(dst, a, m)
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] /= z
+		dst[i+1] /= z
+		dst[i+2] /= z
+		dst[i+3] /= z
 	}
-	for i := range dst {
+	for ; i < n; i++ {
 		dst[i] /= z
 	}
 	return dst
@@ -259,11 +277,48 @@ func ScaleInPlace(a []float64, c float64) []float64 {
 // shift = max(a) for stability, then normalize dst by the returned total.
 // Fusing the exponential with its accumulation keeps the multiplicative-
 // weights histogram materialization a single pass per chunk.
+// The block loop runs four inlined exp lanes (exp.go) per iteration when a
+// verified bit-identical kernel is installed; the sum stays in index order
+// so the result is unchanged down to the last bit. Blocks containing an
+// argument outside the kernel's domain (deep underflow, overflow, NaN) and
+// the scalar tail use math.Exp directly.
 func ExpShiftedSum(dst, a []float64, shift float64) float64 {
 	checkLen("ExpShiftedSum", dst, a)
 	var s float64
-	for i, v := range a {
-		e := math.Exp(v - shift)
+	n := len(a)
+	dst = dst[:n]
+	i := 0
+	if exp4 != nil {
+		for ; i+4 <= n; i += 4 {
+			x0 := a[i] - shift
+			x1 := a[i+1] - shift
+			x2 := a[i+2] - shift
+			x3 := a[i+3] - shift
+			if x0 > expFastLo && x0 < expFastHi &&
+				x1 > expFastLo && x1 < expFastHi &&
+				x2 > expFastLo && x2 < expFastHi &&
+				x3 > expFastLo && x3 < expFastHi {
+				e0, e1, e2, e3 := exp4(x0, x1, x2, x3)
+				dst[i], dst[i+1], dst[i+2], dst[i+3] = e0, e1, e2, e3
+				s += e0
+				s += e1
+				s += e2
+				s += e3
+				continue
+			}
+			e0 := math.Exp(x0)
+			e1 := math.Exp(x1)
+			e2 := math.Exp(x2)
+			e3 := math.Exp(x3)
+			dst[i], dst[i+1], dst[i+2], dst[i+3] = e0, e1, e2, e3
+			s += e0
+			s += e1
+			s += e2
+			s += e3
+		}
+	}
+	for ; i < n; i++ {
+		e := math.Exp(a[i] - shift)
 		dst[i] = e
 		s += e
 	}
@@ -274,16 +329,52 @@ func ExpShiftedSum(dst, a []float64, shift float64) float64 {
 // the updated entries (−Inf for an empty slice). It is the fused
 // multiplicative-weights update kernel: one pass applies the log-space
 // step and computes the re-centering shift the next softmax needs.
+// The four lanes keep independent running maxima (max is order-free under
+// the same strict-> comparison, so the blocked reduction returns the same
+// value as a sequential scan), removing the serial compare chain from the
+// hot loop.
 func AddScaledMax(dst []float64, c float64, a []float64) float64 {
 	checkLen("AddScaledMax", dst, a)
-	m := math.Inf(-1)
-	for i := range dst {
-		dst[i] += c * a[i]
-		if dst[i] > m {
-			m = dst[i]
+	n := len(dst)
+	a = a[:n]
+	m0 := math.Inf(-1)
+	m1, m2, m3 := m0, m0, m0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		v0 := dst[i] + c*a[i]
+		v1 := dst[i+1] + c*a[i+1]
+		v2 := dst[i+2] + c*a[i+2]
+		v3 := dst[i+3] + c*a[i+3]
+		dst[i], dst[i+1], dst[i+2], dst[i+3] = v0, v1, v2, v3
+		if v0 > m0 {
+			m0 = v0
+		}
+		if v1 > m1 {
+			m1 = v1
+		}
+		if v2 > m2 {
+			m2 = v2
+		}
+		if v3 > m3 {
+			m3 = v3
 		}
 	}
-	return m
+	if m1 > m0 {
+		m0 = m1
+	}
+	if m2 > m0 {
+		m0 = m2
+	}
+	if m3 > m0 {
+		m0 = m3
+	}
+	for ; i < n; i++ {
+		dst[i] += c * a[i]
+		if dst[i] > m0 {
+			m0 = dst[i]
+		}
+	}
+	return m0
 }
 
 // AddConst adds c to every entry of a and returns a.

@@ -53,7 +53,7 @@ func Marginals(featDim, w, maxQueries int) ([]*convex.LinearQuery, error) {
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, q)
+			out = append(out, q.WithSupport(subset))
 			if maxQueries > 0 && len(out) >= maxQueries {
 				return out, nil
 			}
@@ -111,7 +111,7 @@ func Parities(subsets [][]int) ([]*convex.LinearQuery, error) {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, q)
+		out = append(out, q.WithSupport(subset))
 	}
 	return out, nil
 }
@@ -151,7 +151,13 @@ func Halfspaces(src *sample.Source, u universe.Universe, k int) ([]*convex.Linea
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, q)
+		supp := make([]int, 0, len(w))
+		for j, wj := range w {
+			if wj != 0 {
+				supp = append(supp, j)
+			}
+		}
+		out = append(out, q.WithSupport(supp))
 	}
 	return out, nil
 }

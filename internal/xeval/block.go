@@ -1,0 +1,43 @@
+package xeval
+
+import (
+	"sync"
+
+	"repro/internal/universe"
+)
+
+// pointBuf pools the row-major point matrices MaterializePoints hands out.
+// Capacity grows to the largest chunk×dim the process sweeps and is then
+// reused across chunks and sweeps, so steady-state kernels allocate
+// nothing.
+var pointBuf = sync.Pool{New: func() any { return new([]float64) }}
+
+// MaterializePoints returns the row-major materialization of universe
+// elements [lo, hi): element lo+k occupies rows[k*dim:(k+1)*dim] with
+// dim = u.Dim(). The release function returns the backing buffer to an
+// internal pool; callers must not touch rows after calling it.
+//
+// Universes implementing universe.Block fill the whole matrix in one call
+// — implicit product universes decode the index once and step an odometer
+// instead of doing a full mixed-radix decode per element — and any other
+// universe falls back to per-element PointInto. Both paths write exactly
+// the universe's point vectors, so kernels that switch from per-element
+// PointInto loops to a materialized block read bit-identical inputs in the
+// same order.
+func MaterializePoints(u universe.Universe, lo, hi int) (rows []float64, release func()) {
+	dim := u.Dim()
+	n := (hi - lo) * dim
+	bp := pointBuf.Get().(*[]float64)
+	if cap(*bp) < n {
+		*bp = make([]float64, n)
+	}
+	rows = (*bp)[:n]
+	if b, ok := u.(universe.Block); ok {
+		b.PointsInto(lo, hi, rows)
+	} else {
+		for i := lo; i < hi; i++ {
+			u.PointInto(i, rows[(i-lo)*dim:(i-lo+1)*dim])
+		}
+	}
+	return rows, func() { pointBuf.Put(bp) }
+}

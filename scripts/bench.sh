@@ -21,10 +21,16 @@
 # Micro mode — the CI perf-regression gate's protocol:
 #   scripts/bench.sh micro              # writes BENCH_micro_baseline.json
 #   OUT=bench_micro_current.json scripts/bench.sh micro
-# runs only the mech + convex micro-benchmarks at a time-based -benchtime
-# (default 0.2s), long enough per benchmark that ns/op is stable; compare
-# runs with `go run ./scripts/benchdiff`. Regenerate (and commit) the
-# baseline when the protocol or the reference hardware changes.
+# runs only the mech + convex + vecmath micro-benchmarks at a time-based
+# -benchtime (default 0.2s), long enough per benchmark that ns/op is
+# stable; compare runs with `go run ./scripts/benchdiff`. Regenerate (and
+# commit) the baseline when the protocol or the reference hardware changes.
+#
+# The first line of every output file is a meta event recording goos,
+# goarch, the CPU model, and the vecmath sweep sizes (the |X| grid the
+# block-kernel benchmarks cover), so archived results identify the machine
+# and universe scale they were measured on. benchdiff ignores it (its
+# Action is "meta", not "output").
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -34,16 +40,21 @@ BENCH="${BENCH:-.}"
 if [ "$MODE" = "micro" ]; then
 	BENCHTIME="${BENCHTIME:-0.2s}"
 	OUT="${OUT:-BENCH_micro_baseline.json}"
-	PKGS="./internal/mech ./internal/convex"
+	PKGS="./internal/mech ./internal/convex ./internal/vecmath"
 else
 	BENCHTIME="${BENCHTIME:-1x}"
 	OUT="${OUT:-BENCH_$(date +%F).json}"
 	PKGS="./..."
 fi
 
+CPU="$(awk -F': ' '/model name/{print $2; exit}' /proc/cpuinfo 2>/dev/null || true)"
+[ -n "$CPU" ] || CPU="$(uname -m)"
+
 echo "bench: mode=$MODE pattern=$BENCH benchtime=$BENCHTIME -> $OUT" >&2
+printf '{"Action":"meta","Mode":"%s","Benchtime":"%s","GOOS":"%s","GOARCH":"%s","CPU":"%s","UniverseSizes":[1024,65536,1048576]}\n' \
+	"$MODE" "$BENCHTIME" "$(go env GOOS)" "$(go env GOARCH)" "$CPU" > "$OUT"
 # shellcheck disable=SC2086 # PKGS is a deliberate word list
-go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -json $PKGS > "$OUT"
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -json $PKGS >> "$OUT"
 
 # Human-readable summary to stderr.
 grep -o '"Output":"Benchmark[^"]*"' "$OUT" \

@@ -126,7 +126,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed go test -json baseline file")
 	current := flag.String("current", "", "go test -json file of the current run")
 	threshold := flag.Float64("threshold", 1.25, "max allowed current/baseline ns/op ratio in gated packages (1.25 = +25%)")
-	gate := flag.String("gate", "repro/internal/mech,repro/internal/convex", "comma-separated packages whose regressions fail the build ('' = report-only)")
+	gate := flag.String("gate", "repro/internal/mech,repro/internal/convex,repro/internal/vecmath", "comma-separated packages whose regressions fail the build ('' = report-only)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")

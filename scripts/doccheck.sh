@@ -5,10 +5,13 @@
 #   2. go vet ./...     : no vet diagnostics
 #   3. doccheck         : every internal package has a package doc comment,
 #                         and every exported symbol in internal/obs,
-#                         internal/persist, and internal/service has a doc
-#                         comment (the serving + persistence + observability
-#                         surface is the repo's operational API, so it is
-#                         held to the strictest standard)
+#                         internal/persist, internal/service,
+#                         internal/universe, internal/vecmath, and
+#                         internal/xeval has a doc comment (the serving +
+#                         persistence + observability surface is the repo's
+#                         operational API, and the universe/kernel/engine
+#                         substrate is what every new sweep builds on, so
+#                         both are held to the strictest standard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,9 +28,12 @@ pkgdoc_args=()
 for d in internal/*/; do
     case "$d" in
         internal/obs/|internal/persist/|internal/service/) ;; # strict-checked below
+        internal/universe/|internal/vecmath/|internal/xeval/) ;; # strict-checked below
         *) pkgdoc_args+=(-pkgdoc "${d%/}") ;;
     esac
 done
-go run ./scripts/doccheck "${pkgdoc_args[@]}" internal/obs internal/persist internal/service
+go run ./scripts/doccheck "${pkgdoc_args[@]}" \
+    internal/obs internal/persist internal/service \
+    internal/universe internal/vecmath internal/xeval
 
 echo "doccheck: OK"
