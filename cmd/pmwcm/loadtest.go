@@ -29,6 +29,7 @@ func loadtestCmd(args []string) error {
 	batch := fs.Int("batch", 0, "batch size; >1 uses the queries:batch endpoint (default 1)")
 	hot := fs.Float64("hot", -1, "hot-key repeat ratio in [0,1] (default 0.8; 0 = all-cold workload)")
 	hotKeys := fs.Int("hotkeys", 0, "hot-key set size (default 8)")
+	distinct := fs.Bool("distinct", false, "miss-heavy generator: every query is a genuinely new loss, so nothing is ever cached and the mechanism keeps updating")
 	accountants := fs.String("accountants", "", "comma-separated per-session accountants, round-robin (empty = server default)")
 	k := fs.Int("k", 0, "per-session query cap K to request (0 = server default)")
 	seed := fs.Int64("seed", 0, "query-stream seed (default 1)")
@@ -89,6 +90,9 @@ func loadtestCmd(args []string) error {
 	}
 	if *hotKeys > 0 {
 		sc.HotKeys = *hotKeys
+	}
+	if *distinct {
+		sc.Distinct = true
 	}
 	if *seed != 0 {
 		sc.Seed = *seed

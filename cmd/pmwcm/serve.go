@@ -95,6 +95,9 @@ func serveCmd(args []string) error {
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
 	stateDir := fs.String("state-dir", "", "session state directory: sessions checkpoint on every budget spend and on shutdown, and are restored on startup (empty = memory only; budget state dies with the process)")
+	wal := fs.Bool("wal", false, "write-ahead-log write path: per-session logs with group-committed fsyncs instead of a full snapshot per budget spend (requires -state-dir)")
+	commitWindow := fs.Duration("commit-window", 0, "upper bound on how long a group-commit batch stays open while commits keep arriving (0 = 2ms; only with -wal)")
+	compactEvery := fs.Int("compact-every", 0, "fold a session's WAL into its snapshot after this many records (0 = 256; only with -wal)")
 	logLevel := fs.String("log-level", "info", "request/startup log level (debug, info, warn, error)")
 	logFormat := fs.String("log-format", "text", "log output format (text, json)")
 	if err := fs.Parse(args); err != nil {
@@ -148,6 +151,9 @@ func serveCmd(args []string) error {
 			return err
 		}
 	}
+	if *wal && store == nil {
+		return fmt.Errorf("-wal requires -state-dir")
+	}
 	// The metrics registry observes everything but perturbs nothing: the
 	// served answers are bit-identical with or without it. The xeval
 	// observer feeds universe-sweep durations labeled by worker count.
@@ -171,16 +177,19 @@ func serveCmd(args []string) error {
 			Accountant: *accountant,
 			Engine:     *engine,
 		},
-		Limits:  service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
-		Store:   store,
-		Metrics: reg,
+		Limits:       service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
+		Store:        store,
+		Metrics:      reg,
+		WAL:          *wal,
+		CommitWindow: *commitWindow,
+		CompactEvery: *compactEvery,
 	})
 	if err != nil {
 		return err
 	}
 	logger.Info("starting", "version", obs.Version().String())
 	if store != nil {
-		logger.Info("state directory opened", "dir", store.Dir(), "restored_live_sessions", mgr.OpenSessions())
+		logger.Info("state directory opened", "dir", store.Dir(), "restored_live_sessions", mgr.OpenSessions(), "wal", *wal)
 	}
 
 	ln, err := net.Listen("tcp", *addr)

@@ -76,6 +76,12 @@ type Scenario struct {
 	// explicitly all-cold workload (`pmwcm loadtest -hot 0` maps to it).
 	HotRatio float64 `json:"hot_ratio,omitempty"`
 	HotKeys  int     `json:"hot_keys,omitempty"`
+	// Distinct makes every generated query a genuinely new loss — rotating
+	// kinds with widely spaced parameters instead of the nearly identical
+	// cold tail — so the mechanism keeps updating and a miss-heavy run
+	// sustains ⊤ answers, the write path's worst case. It overrides
+	// HotRatio: no query ever repeats, so the cache never hits.
+	Distinct bool `json:"distinct,omitempty"`
 	// Seed makes the generated query stream reproducible (default 1).
 	Seed int64 `json:"seed,omitempty"`
 }
@@ -155,6 +161,24 @@ func hotSpec(h int) spec {
 	}
 }
 
+// distinctSpec maps the run-wide sequence number n to a genuinely
+// different loss: the kind rotates and the leading parameter moves in
+// large steps, so consecutive queries keep perturbing the mechanism
+// instead of collapsing into ⊥ agreement the way the nearly identical
+// cold tail does, and the 1e-9·n term keeps every spec's canonical key
+// unique so none is ever served from the cache.
+func distinctSpec(n uint64) spec {
+	v := math.Mod(0.05*float64(n), 1.4) + float64(n)*1e-9
+	switch n % 3 {
+	case 0:
+		return spec{Kind: "logistic", Params: json.RawMessage(fmt.Sprintf(`{"temp":%.17g}`, 0.2+v))}
+	case 1:
+		return spec{Kind: "hinge", Params: json.RawMessage(fmt.Sprintf(`{"width":%.17g}`, 0.5+v))}
+	default:
+		return spec{Kind: "huber", Params: json.RawMessage(fmt.Sprintf(`{"delta":%.17g}`, 0.2+v))}
+	}
+}
+
 // coldSpec returns a query no prior request can have cached: the full
 // run-wide sequence number is embedded at a resolution float64 represents
 // exactly (spacing near 0.5 is ~1e-16 ≪ 1e-12) and %.17g round-trips, so
@@ -173,6 +197,9 @@ type generator struct {
 }
 
 func (g *generator) next() spec {
+	if g.sc.Distinct {
+		return distinctSpec(g.cold.Add(1))
+	}
 	if g.rng.Float64() < g.sc.HotRatio {
 		return hotSpec(g.rng.Intn(g.sc.HotKeys))
 	}

@@ -194,6 +194,15 @@ type storeMetrics struct {
 	count map[string]*obs.Counter // by checkpoint kind
 	bytes map[string]*obs.Counter
 	fsync *obs.Histogram
+	// WAL instruments (wal.go / committer.go): records and bytes appended,
+	// compactions (log folded into a snapshot and truncated), torn-tail
+	// truncations found at recovery, and the group-commit batch-size
+	// histogram (WAL files made durable per fsync batch).
+	walRecords     *obs.Counter
+	walBytes       *obs.Counter
+	walCompactions *obs.Counter
+	walTruncations *obs.Counter
+	walBatch       *obs.Histogram
 }
 
 // Checkpoint kind labels on the store's counters.
@@ -222,8 +231,18 @@ func (s *Store) Instrument(reg *obs.Registry) {
 		bytes: map[string]*obs.Counter{},
 		fsync: reg.Histogram("pmwcm_fsync_seconds",
 			"Checkpoint fsync latency in seconds.", obs.DefBuckets, nil),
+		walRecords: reg.Counter("pmwcm_wal_records_total",
+			"Records appended to session write-ahead logs.", nil),
+		walBytes: reg.Counter("pmwcm_wal_bytes_total",
+			"Bytes appended to session write-ahead logs (framing included).", nil),
+		walCompactions: reg.Counter("pmwcm_wal_compactions_total",
+			"WAL compactions: log folded into a snapshot and truncated.", nil),
+		walTruncations: reg.Counter("pmwcm_wal_truncations_total",
+			"Torn WAL tails truncated at recovery.", nil),
+		walBatch: reg.Histogram("pmwcm_wal_commit_batch",
+			"WAL files made durable per group-commit fsync batch.", obs.SizeBuckets, nil),
 	}
-	for _, kind := range []string{KindManifest, KindSession} {
+	for _, kind := range []string{KindManifest, KindSession, KindWAL} {
 		m.count[kind] = reg.Counter("pmwcm_checkpoint_total", countHelp, obs.Labels{"kind": kind})
 		m.bytes[kind] = reg.Counter("pmwcm_checkpoint_bytes_total", bytesHelp, obs.Labels{"kind": kind})
 	}
@@ -274,6 +293,21 @@ func (s *Store) sessionPath(id string) string {
 	return filepath.Join(s.dir, sessionPrefix+id+sessionSuffix)
 }
 
+// timedSync fsyncs f, landing the latency in the fsync histogram when the
+// store is instrumented. Snapshot and WAL syncs share the instrument, so
+// the histogram stays the one place fsync health is read from.
+func (s *Store) timedSync(f *os.File) error {
+	var start time.Time
+	if s.met != nil {
+		start = time.Now()
+	}
+	err := f.Sync()
+	if s.met != nil && err == nil {
+		s.met.fsync.Observe(time.Since(start).Seconds())
+	}
+	return err
+}
+
 // writeAtomic writes data to path via a temp file and rename, so readers
 // and crash recovery only ever observe complete files. kind labels the
 // checkpoint counters when the store is instrumented.
@@ -284,14 +318,7 @@ func (s *Store) writeAtomic(path, kind string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	_, werr := tmp.Write(data)
-	var syncStart time.Time
-	if s.met != nil {
-		syncStart = time.Now()
-	}
-	serr := tmp.Sync()
-	if s.met != nil && serr == nil {
-		s.met.fsync.Observe(time.Since(syncStart).Seconds())
-	}
+	serr := s.timedSync(tmp)
 	cerr := tmp.Close()
 	for _, err := range []error{werr, serr, cerr} {
 		if err != nil {

@@ -55,6 +55,7 @@ func NewHandler(m *Manager) http.Handler {
 			Universe:     m.Universe().String(),
 			Durable:      m.Durable(),
 			StateDir:     m.StateDir(),
+			WAL:          m.WALMode(),
 		})
 	})
 
@@ -211,6 +212,10 @@ type Health struct {
 	// StateDir is that directory ("" when memory-only).
 	Durable  bool   `json:"durable"`
 	StateDir string `json:"state_dir,omitempty"`
+	// WAL reports whether the write path runs in write-ahead-log mode
+	// (per-session logs with group-committed fsyncs) rather than
+	// snapshot-per-⊤.
+	WAL bool `json:"wal,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/sessions/{id}/queries:batch.

@@ -102,6 +102,10 @@ func (m *Manager) StateDir() string {
 	return m.cfg.Store.Dir()
 }
 
+// WALMode reports whether the manager runs its write path through
+// per-session write-ahead logs with group-committed fsyncs.
+func (m *Manager) WALMode() bool { return m.cfg.WAL }
+
 // SessionAccountant resolves a session id to its accountant name for log
 // enrichment. It reads only immutable creation parameters, so it is safe
 // and cheap on every request.

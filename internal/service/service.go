@@ -57,6 +57,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/convex"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/erm"
@@ -222,6 +223,26 @@ type Config struct {
 	// from memory only. The store's manifest pins a fingerprint of Data;
 	// opening old state over a different dataset fails.
 	Store *persist.Store
+	// WAL (requires Store) switches the per-⊤ durable point from a full
+	// state rewrite to an append-only per-session log with manager-level
+	// group commit: each event appends one small record, concurrent
+	// sessions' ⊤ commits share fsyncs, and the log periodically compacts
+	// into the snapshot format. Recovery = snapshot + WAL-tail replay,
+	// with the same bit-identity and ledger re-verification guarantees; a
+	// manager with WAL off still replays (then folds away) any WAL left by
+	// a previous WAL-mode run, so the flag can be toggled freely between
+	// restarts.
+	WAL bool
+	// CommitWindow bounds how long a group-commit batch stays open while
+	// commits keep arriving (0 = persist.DefaultCommitWindow). A latency /
+	// fsync-count dial only; never affects answers.
+	CommitWindow time.Duration
+	// CompactEvery folds a session's WAL into its snapshot after this many
+	// records (0 = 256), bounding replay length at recovery.
+	CompactEvery int
+	// CompactBytes likewise triggers compaction on WAL file size
+	// (0 = 1 MiB).
+	CompactBytes int64
 	// Metrics enables observability: the manager records query
 	// dispositions and batch shapes into the registry and registers a
 	// scrape-time collector for session counts and per-session /
@@ -243,6 +264,9 @@ type Manager struct {
 	// disabled); started anchors the uptime report.
 	met     *svcMetrics
 	started time.Time
+	// com is the manager-wide group committer WAL-mode sessions commit
+	// through (nil when WAL mode is off).
+	com *persist.GroupCommitter
 
 	mu        sync.Mutex
 	seq       uint64
@@ -276,15 +300,28 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.Limits.RetainClosed <= 0 {
 		cfg.Limits.RetainClosed = 128
 	}
+	if cfg.WAL && cfg.Store == nil {
+		return nil, fmt.Errorf("service: WAL mode requires a state directory (Config.Store)")
+	}
+	if cfg.CompactEvery <= 0 {
+		cfg.CompactEvery = 256
+	}
+	if cfg.CompactBytes <= 0 {
+		cfg.CompactBytes = 1 << 20
+	}
 	m := &Manager{
 		cfg:      cfg,
 		met:      newSvcMetrics(cfg.Metrics),
 		started:  time.Now(),
 		sessions: map[string]*Session{},
 	}
+	if cfg.WAL {
+		m.com = persist.NewGroupCommitter(cfg.CommitWindow)
+	}
 	if cfg.Store != nil {
 		cfg.Store.Instrument(cfg.Metrics)
 		if err := m.recover(); err != nil {
+			m.com.Close()
 			return nil, err
 		}
 	}
@@ -383,14 +420,44 @@ func (m *Manager) recover() error {
 		if err := m.cfg.Store.DeleteSession(id); err != nil {
 			return err
 		}
+		if err := m.cfg.Store.RemoveWAL(id); err != nil {
+			return err
+		}
 	}
 	for _, st := range states {
 		if evicted[st.ID] {
 			continue
 		}
-		s, err := m.restoreOne(st)
+		// The WAL tail is replayed whether or not this manager runs in WAL
+		// mode, so toggling the flag between restarts never strands
+		// records. (A snapshot-only session simply has no WAL file.)
+		walRecs, err := m.cfg.Store.LoadWAL(st.ID)
 		if err != nil {
 			return fmt.Errorf("service: recovering session %s: %w", st.ID, err)
+		}
+		s, err := m.restoreOne(st, walRecs)
+		if err != nil {
+			return fmt.Errorf("service: recovering session %s: %w", st.ID, err)
+		}
+		if m.cfg.Store.HasWAL(st.ID) {
+			// Fold the replayed tail into a fresh snapshot and drop the
+			// old log, so recovery converges instead of replaying an
+			// ever-longer tail on every restart. The checkpoint runs
+			// before the session has a WAL attached, so it is a plain
+			// forced snapshot.
+			if err := s.Checkpoint(); err != nil {
+				return fmt.Errorf("service: compacting recovered session %s: %w", st.ID, err)
+			}
+			if err := m.cfg.Store.RemoveWAL(st.ID); err != nil {
+				return fmt.Errorf("service: compacting recovered session %s: %w", st.ID, err)
+			}
+		}
+		if m.cfg.WAL && !st.Closed {
+			wal, err := m.cfg.Store.OpenWAL(st.ID)
+			if err != nil {
+				return fmt.Errorf("service: opening wal for recovered session %s: %w", st.ID, err)
+			}
+			s.attachWAL(wal, m.com, m.cfg.CompactEvery, m.cfg.CompactBytes)
 		}
 		m.sessions[st.ID] = s
 		if st.Closed {
@@ -402,8 +469,15 @@ func (m *Manager) recover() error {
 	return nil
 }
 
-// restoreOne rebuilds one session from its durable state.
-func (m *Manager) restoreOne(st *persist.SessionState) (*Session, error) {
+// restoreOne rebuilds one session from its durable state: the snapshot,
+// then — when a WAL tail survives past it — replay. Replay re-executes
+// each logged query spec against the restored mechanism and demands the
+// produced event match the recorded one bit for bit; because every event
+// (⊥ included) is logged and every answer draws from positional noise
+// streams, a matching replay proves the restored RNG positions, ledger,
+// and hypothesis are exactly the uninterrupted run's. st is updated in
+// place to the post-replay state (events appended, Closed possibly set).
+func (m *Manager) restoreOne(st *persist.SessionState, walRecs []*persist.WALRecord) (*Session, error) {
 	var p SessionParams
 	if err := json.Unmarshal(st.Params, &p); err != nil {
 		return nil, fmt.Errorf("decoding session params: %w", err)
@@ -418,12 +492,65 @@ func (m *Manager) restoreOne(st *persist.SessionState) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	rec := &transcript.Recorder{Srv: srv, T: st.Transcript}
+	for _, r := range walRecs {
+		switch r.Kind {
+		case persist.WALEvent:
+			if r.Event == nil || r.Event.Index != r.Seq {
+				return nil, fmt.Errorf("wal record %d is malformed", r.Seq)
+			}
+			if r.Seq <= len(rec.T.Events) {
+				// Already inside the snapshot: a crash between a compaction's
+				// snapshot write and its log truncation leaves this overlap.
+				continue
+			}
+			if r.Seq != len(rec.T.Events)+1 {
+				return nil, fmt.Errorf("wal skips from event %d to %d", len(rec.T.Events), r.Seq)
+			}
+			var spec convex.Spec
+			if err := json.Unmarshal(r.Spec, &spec); err != nil {
+				return nil, fmt.Errorf("wal record %d spec: %w", r.Seq, err)
+			}
+			l, err := convex.Build(m.cfg.Data.U, spec)
+			if err != nil {
+				return nil, fmt.Errorf("wal record %d spec: %w", r.Seq, err)
+			}
+			if _, err := rec.AnswerKeyed(l, r.Event.CacheKey); err != nil {
+				return nil, fmt.Errorf("replaying wal record %d: %w", r.Seq, err)
+			}
+			if got := rec.T.Events[len(rec.T.Events)-1]; !eventsEqual(got, *r.Event) {
+				return nil, fmt.Errorf("wal replay of event %d diverged from the recorded exchange — state and log disagree", r.Seq)
+			}
+		case persist.WALClose:
+			st.Closed = true
+		default:
+			return nil, fmt.Errorf("wal record %d has unknown kind %q", r.Seq, r.Kind)
+		}
+	}
 	if err := verifyLedger(p, srv, st.Transcript); err != nil {
 		return nil, err
 	}
-	rec := &transcript.Recorder{Srv: srv, T: st.Transcript}
 	id := st.ID
 	return restoreSession(st, p, rec, m.cfg.Data.U, m.cfg.Store, m.met, func() { m.release(id) }), nil
+}
+
+// eventsEqual compares a replayed event with its recorded WAL twin, bit
+// for bit: any drift — answer bytes, disposition, ledger deltas, cache
+// key — means the restored state would not continue the uninterrupted
+// interaction, and recovery must refuse rather than serve from it.
+func eventsEqual(a, b transcript.Event) bool {
+	if a.Index != b.Index || a.Query != b.Query || a.Top != b.Top ||
+		a.EpsSpent != b.EpsSpent || a.DeltaSpent != b.DeltaSpent || a.RhoSpent != b.RhoSpent ||
+		a.CumEps != b.CumEps || a.CumDelta != b.CumDelta || a.CacheKey != b.CacheKey ||
+		len(a.Answer) != len(b.Answer) {
+		return false
+	}
+	for i := range a.Answer {
+		if a.Answer[i] != b.Answer[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // verifyLedger re-verifies a restored accountant against the replayed
@@ -530,12 +657,24 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		undo()
 		return nil, err
 	}
+	if m.cfg.WAL {
+		// Attach the log after the creation checkpoint so the WAL only ever
+		// holds events past a snapshot that exists.
+		wal, err := m.cfg.Store.OpenWAL(id)
+		if err != nil {
+			undo()
+			_ = m.cfg.Store.DeleteSession(id)
+			return nil, err
+		}
+		s.attachWAL(wal, m.com, m.cfg.CompactEvery, m.cfg.CompactBytes)
+	}
 	m.mu.Lock()
 	if m.shutdown {
 		m.open--
 		m.mu.Unlock()
 		if m.cfg.Store != nil {
 			_ = m.cfg.Store.DeleteSession(id)
+			_ = m.cfg.Store.RemoveWAL(id)
 		}
 		return nil, ErrShuttingDown
 	}
@@ -587,8 +726,10 @@ func (m *Manager) release(id string) {
 		delete(m.sessions, old)
 		if m.cfg.Store != nil {
 			// Best-effort: a failed unlink is re-attempted by the next
-			// restart's recovery eviction.
+			// restart's recovery eviction. Close already removed the WAL, but
+			// a Close whose final compaction failed leaves one behind.
 			_ = m.cfg.Store.DeleteSession(old)
+			_ = m.cfg.Store.RemoveWAL(old)
 		}
 	}
 }
@@ -644,6 +785,9 @@ func (m *Manager) Shutdown() {
 		// left as they are.
 		s.suspend()
 	}
+	// With every session suspended the group committer drains and stops;
+	// any straggling commit after this degrades to a direct fsync.
+	m.com.Close()
 }
 
 // OracleByName maps a CLI/config oracle name to an erm.Oracle running its

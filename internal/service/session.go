@@ -77,15 +77,37 @@ type Session struct {
 	}
 
 	// saveMu serializes durable writes outside mu. savedSeq (guarded by
-	// saveMu) is the transcript length of the newest state on disk:
-	// query-path saves are skipped when a newer superset state is already
-	// durable, which keeps the write-ahead guarantee while letting an
-	// overtaken writer return immediately. durableSeq mirrors savedSeq
-	// atomically for the lock-free cache-hit path: a ⊤ answer's cache
-	// entry is only served once its spend is durable (see servable).
+	// saveMu) is the transcript length of the newest *durable* state —
+	// snapshot file, or snapshot plus synced WAL records: query-path
+	// commits are skipped when a newer superset is already durable, which
+	// keeps the write-ahead guarantee while letting an overtaken writer
+	// return immediately. durableSeq mirrors savedSeq atomically for the
+	// lock-free cache-hit path: a ⊤ answer's cache entry is only served
+	// once its spend is durable (see servable).
 	saveMu     sync.Mutex
 	savedSeq   int
 	durableSeq atomic.Int64
+
+	// WAL mode (attachWAL): instead of rewriting the whole state file per
+	// ⊤ answer, every event appends one record to the session's
+	// append-only log, ⊤ records are made durable through the manager's
+	// group committer, and the log is periodically compacted back into the
+	// snapshot format. walMode is immutable after construction, so the
+	// query path reads it without a lock. walPending (guarded by mu)
+	// queues records in event order between drains; wal, walAppendedSeq,
+	// and walBroken are guarded by saveMu. walAppendedSeq is the highest
+	// event seq written (not necessarily synced) to the log; walBroken
+	// flips after a failed append or sync — the file may end mid-frame, so
+	// further appends are forbidden and durable points fall back to full
+	// snapshots until a compaction's Reset heals the log.
+	walMode        bool
+	com            *persist.GroupCommitter
+	compactRecords int
+	compactBytes   int64
+	walPending     []*persist.WALRecord
+	wal            *persist.WAL
+	walAppendedSeq int
+	walBroken      bool
 }
 
 // cacheEntry is one released answer, immutable once cached. gateSeq is 0
@@ -233,13 +255,176 @@ func (s *Session) save(st *persist.SessionState, seq int, force bool) error {
 	return nil
 }
 
+// attachWAL switches the session into WAL mode: wal is its open log, com
+// the manager's group committer, and compactRecords/compactBytes the
+// thresholds that trigger folding the log into a snapshot. Must be called
+// before the session is shared (creation and recovery both do).
+func (s *Session) attachWAL(wal *persist.WAL, com *persist.GroupCommitter, compactRecords int, compactBytes int64) {
+	s.walMode = true
+	s.wal = wal
+	s.com = com
+	s.compactRecords = compactRecords
+	s.compactBytes = compactBytes
+	s.walAppendedSeq = s.savedSeq
+}
+
+// enqueueWALLocked queues the just-recorded event as a WAL record (called
+// under mu, immediately after the recorder appended the event, so pending
+// order is event order).
+func (s *Session) enqueueWALLocked(spec json.RawMessage, ev *transcript.Event) {
+	evCopy := *ev
+	s.walPending = append(s.walPending, &persist.WALRecord{
+		Kind:  persist.WALEvent,
+		Seq:   ev.Index,
+		Spec:  spec,
+		Event: &evCopy,
+	})
+}
+
+// appendPendingLocked drains the pending queue into the log file (no
+// sync). Caller holds saveMu. Once the log is broken — a failed append may
+// have torn the file mid-frame — nothing more is appended: drained records
+// are covered by the full-snapshot fallback the caller must take (they are
+// all in the in-memory transcript), and on a crash before that fallback
+// the torn tail truncates away only records whose answers were never
+// released under the write-ahead rule.
+func (s *Session) appendPendingLocked() {
+	s.mu.Lock()
+	pend := s.walPending
+	s.walPending = nil
+	s.mu.Unlock()
+	if s.walBroken || s.wal == nil {
+		return
+	}
+	for _, r := range pend {
+		if err := s.wal.Append(r); err != nil {
+			s.walBroken = true
+			return
+		}
+		s.walAppendedSeq = r.Seq
+	}
+}
+
+// walCommit makes every event up to seq durable and advances the durable
+// watermark — the WAL-mode replacement for assembling and saving a full
+// state. Unless forced, a commit whose seq is already covered returns
+// immediately (an overtaking committer or a racing Checkpoint compaction
+// already hardened those records — they are never re-appended or
+// re-fsynced). On a broken log it falls back to a full snapshot, which
+// also tries to heal the log.
+func (s *Session) walCommit(seq int, force bool) error {
+	s.saveMu.Lock()
+	if !force && seq <= s.savedSeq {
+		s.saveMu.Unlock()
+		return nil
+	}
+	s.appendPendingLocked()
+	if s.walBroken || s.wal == nil {
+		defer s.saveMu.Unlock()
+		return s.compactLocked()
+	}
+	appended := s.walAppendedSeq
+	wal, com := s.wal, s.com
+	// The fsync wait happens outside saveMu: holding it would make every
+	// ⊥ append (and every other commit) of this session queue behind one
+	// group-commit round trip. Releasing is safe because the appended
+	// records are already in the file — a compaction that races the sync
+	// may Reset the log, but only after snapshotting a state that contains
+	// these very events, which the savedSeq check below picks up.
+	s.saveMu.Unlock()
+	syncErr := com.Sync(wal)
+	s.saveMu.Lock()
+	defer s.saveMu.Unlock()
+	if syncErr != nil {
+		if s.savedSeq >= seq {
+			// A racing compaction already hardened everything up to seq in
+			// snapshot form; the failed log sync cost nothing.
+			return nil
+		}
+		s.walBroken = true
+		return s.compactLocked()
+	}
+	if appended > s.savedSeq {
+		s.savedSeq = appended
+		s.durableSeq.Store(int64(appended))
+	}
+	if s.wal != nil && !s.walBroken &&
+		(s.wal.Records() >= s.compactRecords || s.wal.Bytes() >= s.compactBytes) {
+		// Threshold compaction bounds both replay length and log size; its
+		// cost — one full snapshot — lands on this commit but is amortized
+		// over compactRecords cheap ones. The commit itself already
+		// succeeded, so a compaction failure is not this answer's error:
+		// the spend is durable in the log.
+		_ = s.compactLocked()
+	}
+	return nil
+}
+
+// walIdleAppend moves ⊥ records into the log without waiting for a sync:
+// ⊥ answers spend nothing, so their durability is best-effort (exactly as
+// the pre-WAL write path never checkpointed them), but keeping the file —
+// not the pending queue — as the buffer bounds memory and keeps the
+// compaction thresholds honest. Errors are absorbed: a broken log forces
+// the next ⊤ commit into the snapshot fallback.
+func (s *Session) walIdleAppend() {
+	s.saveMu.Lock()
+	s.appendPendingLocked()
+	s.saveMu.Unlock()
+}
+
+// compactLocked folds the session's current state into the snapshot
+// format and truncates the log: the periodic durability "rebase" that
+// bounds WAL replay, and the forced-checkpoint path. Caller holds saveMu.
+// Pending records are discarded under mu *before* the state is assembled —
+// the snapshot is a superset of every one of them — so records covered by
+// the snapshot can never also be re-appended to the log (the
+// checkpoint-vs-group-commit race). A snapshot written at or above seq
+// advances the watermark even when the subsequent log Reset fails; the
+// broken flag then keeps routing durable points through snapshots until a
+// later Reset heals the file.
+func (s *Session) compactLocked() error {
+	s.mu.Lock()
+	st, err := s.stateLocked()
+	seq := len(s.rec.T.Events)
+	s.walPending = nil
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := s.store.SaveSession(st); err != nil {
+		return fmt.Errorf("%w: %v", ErrCheckpoint, err)
+	}
+	if seq > s.savedSeq {
+		s.savedSeq = seq
+	}
+	s.durableSeq.Store(int64(s.savedSeq))
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.wal.Reset(); err != nil {
+		s.walBroken = true
+		return nil
+	}
+	s.walBroken = false
+	s.walAppendedSeq = seq
+	return nil
+}
+
 // Checkpoint forces a durable snapshot of the session's current state. It
 // fails with ErrNotDurable when the manager has no state directory.
 // Checkpointing a closed session rewrites its (final) state and is
-// harmless.
+// harmless. In WAL mode a forced checkpoint is a compaction: the log is
+// folded into the snapshot and truncated, and a ⊤ answer racing this
+// checkpoint finds its records already durable instead of fsyncing them a
+// second time.
 func (s *Session) Checkpoint() error {
 	if s.store == nil {
 		return ErrNotDurable
+	}
+	if s.walMode {
+		s.saveMu.Lock()
+		defer s.saveMu.Unlock()
+		return s.compactLocked()
 	}
 	s.mu.Lock()
 	st, err := s.stateLocked()
@@ -338,9 +523,11 @@ func (s *Session) lookupCached(key string) (*QueryResult, error) {
 }
 
 // answerLocked drives one mechanism query under mu: answers l, records the
-// keyed transcript event, caches the released answer, and refreshes the
-// ledger view. The caller owns halt/closed checks and durability.
-func (s *Session) answerLocked(l convex.Loss, key string) (*QueryResult, error) {
+// keyed transcript event, caches the released answer, queues the WAL
+// record (WAL mode; spec is the query's serialized spec, replayed at
+// recovery), and refreshes the ledger view. The caller owns halt/closed
+// checks and durability.
+func (s *Session) answerLocked(l convex.Loss, key string, spec json.RawMessage) (*QueryResult, error) {
 	theta, err := s.rec.AnswerKeyed(l, key)
 	if err == core.ErrHalted {
 		return nil, ErrBudgetExhausted
@@ -350,6 +537,13 @@ func (s *Session) answerLocked(l convex.Loss, key string) (*QueryResult, error) 
 	}
 	srv := s.rec.Srv
 	ev := s.rec.T.Events[len(s.rec.T.Events)-1]
+	if s.walMode {
+		// Every event is logged, ⊥ included: a ⊥ answer advances the
+		// sparse-vector noise stream, so replay must re-execute it to keep
+		// the restored RNG positions — and with them the bit-identity
+		// invariant — exact.
+		s.enqueueWALLocked(spec, &ev)
+	}
 	if key != "" {
 		// ⊥ answers spend nothing and are releasable immediately; a ⊤
 		// answer's entry is gated on its spend reaching disk.
@@ -405,6 +599,12 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	var specRaw json.RawMessage
+	if s.walMode {
+		if specRaw, err = json.Marshal(spec); err != nil {
+			return nil, fmt.Errorf("service: encoding query spec: %w", err)
+		}
+	}
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()
@@ -413,23 +613,31 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 	// Double-check under the lock: a concurrent miss for the same key may
 	// have just answered it. If that answer's spend is not durable yet
 	// (its writer is mid-fsync, or its write failed), re-drive the
-	// write-ahead save before releasing the bytes — on success the skip
+	// write-ahead commit before releasing the bytes — on success the skip
 	// rule makes it a cheap wait behind the in-flight writer, and after a
 	// failed write it is the retry that heals the gate.
 	if hit := s.cacheGet(key); hit != nil {
 		var st *persist.SessionState
 		var seq int
-		if !s.servable(hit) {
+		gated := !s.servable(hit)
+		if gated && !s.walMode {
 			if st, err = s.stateLocked(); err != nil {
 				s.mu.Unlock()
 				return nil, err
 			}
+		}
+		if gated {
 			seq = len(s.rec.T.Events)
 		}
 		res := s.hitResult(hit)
 		s.mu.Unlock()
-		if st != nil {
-			if err := s.save(st, seq, false); err != nil {
+		if gated {
+			if s.walMode {
+				err = s.walCommit(seq, false)
+			} else {
+				err = s.save(st, seq, false)
+			}
+			if err != nil {
 				return nil, err
 			}
 		}
@@ -439,23 +647,40 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 		s.mu.Unlock()
 		return nil, ErrBudgetExhausted
 	}
-	res, err := s.answerLocked(l, key)
+	res, err := s.answerLocked(l, key, specRaw)
 	if err != nil {
 		s.mu.Unlock()
 		return nil, err
 	}
 	var st *persist.SessionState
 	var seq int
-	if res.Top && s.store != nil {
+	if res.Top && s.store != nil && !s.walMode {
 		// Assemble the write-ahead state under mu; the disk write happens
 		// after unlock so reads never wait on fsync.
 		if st, err = s.stateLocked(); err != nil {
 			s.mu.Unlock()
 			return nil, err
 		}
-		seq = len(s.rec.T.Events)
 	}
+	seq = len(s.rec.T.Events)
 	s.mu.Unlock()
+	if s.walMode {
+		if res.Top {
+			// Write-ahead commit: the ⊤ record (and any queued ⊥ records
+			// before it) reaches disk through the group committer before
+			// the reply is sent.
+			if err := s.walCommit(seq, false); err != nil {
+				return nil, err
+			}
+		} else {
+			// ⊥ answers spend nothing: append the record without waiting
+			// for a sync, exactly as cheap as the pre-WAL path (which did
+			// not checkpoint ⊥ answers at all) but keeping the log the
+			// single replay source.
+			s.walIdleAppend()
+		}
+		return res, nil
+	}
 	if st != nil {
 		// Write-ahead checkpoint: a ⊤ answer spent budget, so the spend
 		// must reach disk before the reply is sent. On failure the reply is
@@ -560,6 +785,7 @@ func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int
 	// the sequential path would report it.
 	type built struct {
 		loss convex.Loss
+		spec json.RawMessage
 		err  error
 	}
 	byKey := make(map[string]built, len(missIdx))
@@ -568,7 +794,13 @@ func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int
 			continue
 		}
 		l, err := convex.Build(s.u, specs[i])
-		byKey[keys[i]] = built{loss: l, err: err}
+		b := built{loss: l, err: err}
+		if err == nil && s.walMode {
+			if b.spec, err = json.Marshal(specs[i]); err != nil {
+				b.err = fmt.Errorf("service: encoding query spec: %w", err)
+			}
+		}
+		byKey[keys[i]] = b
 	}
 	s.mu.Lock()
 	needSave := false
@@ -598,7 +830,7 @@ func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int
 			items[i].Error = ErrBudgetExhausted.Error()
 			continue
 		}
-		res, err := s.answerLocked(b.loss, keys[i])
+		res, err := s.answerLocked(b.loss, keys[i], b.spec)
 		if err != nil {
 			items[i].Error = err.Error()
 			continue
@@ -611,13 +843,22 @@ func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int
 	var st *persist.SessionState
 	var seq int
 	var stErr error
-	if needSave && s.store != nil {
+	if needSave && s.store != nil && !s.walMode {
 		st, stErr = s.stateLocked()
-		seq = len(s.rec.T.Events)
 	}
+	seq = len(s.rec.T.Events)
 	s.mu.Unlock()
 	if stErr != nil {
 		return stErr
+	}
+	if s.walMode {
+		// One group-committed write-ahead commit covers every ⊤ in the
+		// batch; a ⊥-only batch just drains its records into the log.
+		if needSave {
+			return s.walCommit(seq, false)
+		}
+		s.walIdleAppend()
+		return nil
 	}
 	if st != nil {
 		return s.save(st, seq, false)
@@ -752,7 +993,11 @@ func (s *Session) Close() error {
 	var st *persist.SessionState
 	var seq int
 	var stErr error
-	if s.store != nil {
+	if s.walMode {
+		// A close record makes closed-ness durable at WAL-record cost; the
+		// compaction below then folds the final state into the snapshot.
+		s.walPending = append(s.walPending, &persist.WALRecord{Kind: persist.WALClose, Seq: len(s.rec.T.Events)})
+	} else if s.store != nil {
 		st, stErr = s.stateLocked()
 		seq = len(s.rec.T.Events)
 	}
@@ -760,7 +1005,24 @@ func (s *Session) Close() error {
 	s.onClose = nil
 	s.mu.Unlock()
 	saveErr := stErr
-	if saveErr == nil && st != nil {
+	if s.walMode {
+		// Commit the close record first (forced: its seq equals the last
+		// event's, which may already be durable), then fold the final
+		// state into the snapshot and drop the log — a closed session
+		// never writes again. The log is removed only after a successful
+		// compaction; on failure it stays, and recovery replays the close
+		// record instead.
+		saveErr = s.walCommit(0, true)
+		s.saveMu.Lock()
+		if err := s.compactLocked(); err == nil && s.wal != nil {
+			_ = s.wal.Close()
+			_ = s.store.RemoveWAL(s.id)
+			s.wal = nil
+		} else if saveErr == nil {
+			saveErr = err
+		}
+		s.saveMu.Unlock()
+	} else if st != nil {
 		saveErr = s.save(st, seq, true)
 	}
 	if cb != nil {
@@ -774,6 +1036,30 @@ func (s *Session) Close() error {
 // so the next manager over the same state directory resumes the session
 // exactly where it stopped. Already-closed sessions are left alone.
 func (s *Session) suspend() {
+	if s.walMode {
+		// Fold the log into a Closed=false snapshot *before* flipping the
+		// closed flag — compaction reads the flag, and the state file must
+		// say "live" for the next start to resume the session. A ⊤ answer
+		// racing this compaction commits its own records through the log;
+		// the file is left in place either way, so recovery replays
+		// whatever the compaction missed.
+		s.saveMu.Lock()
+		_ = s.compactLocked()
+		s.saveMu.Unlock()
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			return
+		}
+		s.closed.Store(true)
+		cb := s.onClose
+		s.onClose = nil
+		s.mu.Unlock()
+		if cb != nil {
+			cb()
+		}
+		return
+	}
 	s.mu.Lock()
 	if s.closed.Load() {
 		s.mu.Unlock()

@@ -1,0 +1,423 @@
+package service
+
+// wal_test.go covers the WAL-mode write path at the service layer: golden
+// bit-identity of recovery-by-replay per accountant, torn-tail truncation
+// after a byte-level corruption, compaction round-trips, the
+// checkpoint-vs-group-commit race, WAL-off replay of leftover logs, and
+// close durability through the close record.
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/persist"
+	"repro/internal/sample"
+)
+
+// walManager builds a durable manager in WAL mode over dir. compactEvery 0
+// takes the production default (256), i.e. effectively no mid-test
+// compaction for short streams.
+func walManager(t *testing.T, dir string, dataSeed, srcSeed int64, defaults SessionParams, compactEvery int) *Manager {
+	t.Helper()
+	st, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(Config{
+		Data:         durableData(t, dataSeed),
+		Source:       sample.New(srcSeed),
+		Defaults:     defaults,
+		Store:        st,
+		WAL:          true,
+		CompactEvery: compactEvery,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// walFile is the on-disk path of a session's log (mirrors the persist
+// layout documented on Store.OpenWAL).
+func walFile(dir, id string) string {
+	return filepath.Join(dir, "session-"+id+".wal")
+}
+
+// TestWALGoldenContinuation is the acceptance invariant for the WAL write
+// path, per accountant: a WAL-mode session whose manager is abandoned
+// without any shutdown (a crash — the log tail was never folded into a
+// snapshot) must, after recovery-by-replay, answer the remaining query
+// sequence bit-identically to an uninterrupted in-memory session — answers,
+// ⊥/⊤ pattern, budget spend, transcript.
+func TestWALGoldenContinuation(t *testing.T) {
+	for _, acct := range []string{"basic", "advanced", "zcdp"} {
+		t.Run(acct, func(t *testing.T) {
+			defaults := SessionParams{
+				Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 12, TBudget: 6,
+				Accountant: acct,
+			}
+			specs := mixedSpecs(12)
+			const cut = 5
+
+			ref := durableManager(t, "", 1, 9, defaults)
+			defer ref.Shutdown()
+			refSess, err := ref.CreateSession(SessionParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			refResults := make([]*QueryResult, len(specs))
+			for i, q := range specs {
+				if refResults[i], err = refSess.Query(q); err != nil {
+					t.Fatalf("reference query %d: %v", i, err)
+				}
+			}
+
+			dir := t.TempDir()
+			m1 := walManager(t, dir, 1, 9, defaults, 0)
+			s1, err := m1.CreateSession(SessionParams{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < cut; i++ {
+				res, err := s1.Query(specs[i])
+				if err != nil {
+					t.Fatalf("pre-crash query %d: %v", i, err)
+				}
+				sameResult(t, "pre-crash", refResults[i], res)
+			}
+			// No Shutdown: the manager is abandoned with its whole event
+			// history still in the log. Recovery must replay it.
+			if len(loadState(t, m1, s1.ID()).Transcript.Events) != 0 {
+				t.Fatal("fixture compacted before the crash; replay test is vacuous")
+			}
+
+			m2 := walManager(t, dir, 1, 777, defaults, 0)
+			defer m2.Shutdown()
+			s2, err := m2.Session(s1.ID())
+			if err != nil {
+				t.Fatalf("recovered session not found: %v", err)
+			}
+			wantUsed := 0
+			for i := 0; i < cut; i++ {
+				if !refResults[i].Cached {
+					wantUsed++
+				}
+			}
+			if got := s2.Status(); got.QueriesUsed != wantUsed || got.Accountant != acct {
+				t.Fatalf("recovered status %+v, want %d queries used", got, wantUsed)
+			}
+			for i := cut; i < len(specs); i++ {
+				res, err := s2.Query(specs[i])
+				if err != nil {
+					t.Fatalf("post-crash query %d: %v", i, err)
+				}
+				sameResult(t, "post-crash", refResults[i], res)
+			}
+			refTr, err := refSess.TranscriptJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotTr, err := s2.TranscriptJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(refTr) != string(gotTr) {
+				t.Fatalf("transcripts differ:\n%s\n%s", refTr, gotTr)
+			}
+		})
+	}
+}
+
+// TestWALTornTailRecovery corrupts the last bytes of a session's log — a
+// torn write at crash — and checks recovery truncates to the clean prefix
+// and the session continues from there.
+func TestWALTornTailRecovery(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 12, TBudget: 6}
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 0)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 6
+	for i := 0; i < n; i++ {
+		if _, err := s1.Query(distinctSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Abandon m1, then tear the tail: cut into the last record's frame.
+	path := walFile(dir, s1.ID())
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := walManager(t, dir, 1, 777, defaults, 0)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatalf("recovered session not found: %v", err)
+	}
+	// Exactly the torn record is gone; the clean prefix survived.
+	if got := s2.Status().QueriesUsed; got != n-1 {
+		t.Fatalf("recovered %d queries, want %d (clean prefix)", got, n-1)
+	}
+	if _, err := s2.Query(distinctSpec(n + 1)); err != nil {
+		t.Fatalf("recovered session cannot continue: %v", err)
+	}
+}
+
+// TestWALCompactionRoundTrip drives a session past several compaction
+// thresholds and checks (a) the log actually folded into the snapshot
+// mid-stream, and (b) a crash after that recovers snapshot + WAL tail into
+// a session whose remaining answers are bit-identical to an uninterrupted
+// run.
+func TestWALCompactionRoundTrip(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 16, TBudget: 6}
+	specs := mixedSpecs(16)
+	const cut = 12
+
+	ref := durableManager(t, "", 1, 9, defaults)
+	defer ref.Shutdown()
+	refSess, err := ref.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResults := make([]*QueryResult, len(specs))
+	for i, q := range specs {
+		if refResults[i], err = refSess.Query(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 3)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cut; i++ {
+		if _, err := s1.Query(specs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapEvents := len(loadState(t, m1, s1.ID()).Transcript.Events)
+	if snapEvents == 0 {
+		t.Fatal("no compaction happened; round-trip test is vacuous")
+	}
+	// Crash: snapshot holds a prefix, the log holds the tail past it.
+
+	m2 := walManager(t, dir, 1, 777, defaults, 3)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := cut; i < len(specs); i++ {
+		res, err := s2.Query(specs[i])
+		if err != nil {
+			t.Fatalf("post-crash query %d: %v", i, err)
+		}
+		sameResult(t, "post-compaction-crash", refResults[i], res)
+	}
+}
+
+// TestWALCheckpointRaceNoDoubleCommit is the regression test for the
+// checkpoint-vs-group-commit race: forced Checkpoint calls interleaved
+// with live queries must never re-append records the snapshot already
+// holds or commit a record twice. The log must stay a strictly increasing
+// run of sequence numbers, and recovery must see every answered query.
+func TestWALCheckpointRaceNoDoubleCommit(t *testing.T) {
+	defaults := SessionParams{Eps: 2, Delta: 1e-6, Alpha: 0.1, K: 40, TBudget: 8}
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 0)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		// Hammer forced checkpoints while the query loop runs: each one
+		// compacts the log and must clear the pending queue it absorbed.
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := s1.Checkpoint(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if _, err := s1.Query(distinctSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Abandon m1 and inspect the files directly.
+	st, err := persist.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.LoadWAL(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := 0
+	for _, r := range recs {
+		if r.Seq <= last {
+			t.Fatalf("wal sequence not strictly increasing: %d after %d (double commit)", r.Seq, last)
+		}
+		last = r.Seq
+	}
+
+	m2 := walManager(t, dir, 1, 777, defaults, 0)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Status().QueriesUsed; got != n {
+		t.Fatalf("recovered %d queries, want %d", got, n)
+	}
+}
+
+// TestWALModeOffReplaysLeftoverLog checks the -wal flag can be toggled off
+// between restarts without stranding records: a snapshot-mode manager still
+// replays a leftover log and folds it away.
+func TestWALModeOffReplaysLeftoverLog(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 12, TBudget: 6}
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 0)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	for i := 0; i < n; i++ {
+		if _, err := s1.Query(distinctSpec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash, then restart with WAL off.
+	m2 := durableManager(t, dir, 1, 777, defaults)
+	defer m2.Shutdown()
+	s2, err := m2.Session(s1.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Status().QueriesUsed; got != n {
+		t.Fatalf("recovered %d queries, want %d", got, n)
+	}
+	if m2.cfg.Store.HasWAL(s1.ID()) {
+		t.Fatal("leftover wal not folded away by a snapshot-mode manager")
+	}
+	if _, err := s2.Query(distinctSpec(n + 1)); err != nil {
+		t.Fatalf("recovered session cannot continue: %v", err)
+	}
+}
+
+// TestWALCloseDurability checks closing a WAL-mode session compacts and
+// removes its log, persists closedness across a crash, and that a close
+// record left in a log (final compaction never ran) still closes the
+// session at recovery.
+func TestWALCloseDurability(t *testing.T) {
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 8, TBudget: 6}
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 0)
+	s1, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Query(countingSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m1.cfg.Store.HasWAL(s1.ID()) {
+		t.Fatal("close left the wal behind")
+	}
+
+	// Second session: closed purely via a close record, as when the final
+	// compaction never made it to disk.
+	s2, err := m1.CreateSession(SessionParams{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Query(countingSpec(0)); err != nil {
+		t.Fatal(err)
+	}
+	events := len(loadState(t, m1, s2.ID()).Transcript.Events)
+	// Abandon m1 and splice a close record onto s2's log.
+	w, err := m1.cfg.Store.OpenWAL(s2.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(&persist.WALRecord{Kind: persist.WALClose, Seq: events}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	m2 := walManager(t, dir, 1, 777, defaults, 0)
+	defer m2.Shutdown()
+	for _, id := range []string{s1.ID(), s2.ID()} {
+		s, err := m2.Session(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !s.Status().Closed {
+			t.Fatalf("session %s not closed after recovery", id)
+		}
+		if _, err := s.Query(countingSpec(1)); !errors.Is(err, ErrSessionClosed) {
+			t.Fatalf("query on recovered closed session %s: %v", id, err)
+		}
+	}
+	if m2.OpenSessions() != 0 {
+		t.Fatalf("open sessions after recovery = %d, want 0", m2.OpenSessions())
+	}
+}
+
+// TestWALRequiresStore checks the configuration guard and the healthz
+// surface of WAL mode.
+func TestWALRequiresStore(t *testing.T) {
+	if _, err := New(Config{
+		Data:   durableData(t, 1),
+		Source: sample.New(9),
+		WAL:    true,
+	}); err == nil || !strings.Contains(err.Error(), "state directory") {
+		t.Fatalf("WAL without store: %v", err)
+	}
+
+	defaults := SessionParams{Eps: 1, Delta: 1e-6, Alpha: 0.1, K: 5, TBudget: 6}
+	m := walManager(t, t.TempDir(), 1, 9, defaults, 0)
+	defer m.Shutdown()
+	if !m.WALMode() {
+		t.Fatal("WALMode() false on a WAL manager")
+	}
+	rr := httptest.NewRecorder()
+	NewHandler(m).ServeHTTP(rr, httptest.NewRequest("GET", "/healthz", nil))
+	if !strings.Contains(rr.Body.String(), `"wal": true`) {
+		t.Fatalf("healthz on WAL server: %s", rr.Body.String())
+	}
+}

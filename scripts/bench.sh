@@ -21,7 +21,8 @@
 # Micro mode — the CI perf-regression gate's protocol:
 #   scripts/bench.sh micro              # writes BENCH_micro_baseline.json
 #   OUT=bench_micro_current.json scripts/bench.sh micro
-# runs only the mech + convex + vecmath micro-benchmarks at a time-based
+# runs only the mech + convex + vecmath + persist micro-benchmarks at a
+# time-based
 # -benchtime (default 0.2s), long enough per benchmark that ns/op is
 # stable; compare runs with `go run ./scripts/benchdiff`. Regenerate (and
 # commit) the baseline when the protocol or the reference hardware changes.
@@ -40,7 +41,7 @@ BENCH="${BENCH:-.}"
 if [ "$MODE" = "micro" ]; then
 	BENCHTIME="${BENCHTIME:-0.2s}"
 	OUT="${OUT:-BENCH_micro_baseline.json}"
-	PKGS="./internal/mech ./internal/convex ./internal/vecmath"
+	PKGS="./internal/mech ./internal/convex ./internal/vecmath ./internal/persist"
 else
 	BENCHTIME="${BENCHTIME:-1x}"
 	OUT="${OUT:-BENCH_$(date +%F).json}"

@@ -8,9 +8,9 @@
 //	go run ./scripts/benchdiff -baseline BENCH_micro_baseline.json -current bench_micro_current.json
 //	go run ./scripts/benchdiff -baseline old.json -current new.json -gate ''   # report-only
 //
-// Only packages in -gate (default: the accountant and convex-kernel
-// micro-benchmarks, which sit on the serving hot path and run long enough
-// to be stable) can fail the build; everything else — including the
+// Only packages in -gate (default: the accountant, convex-kernel, and
+// persistence micro-benchmarks, which sit on the serving hot path and run
+// long enough to be stable) can fail the build; everything else — including the
 // wall-clock-noisy Table1 end-to-end benchmarks — is report-only.
 // Benchmarks present in only one file are reported, never failed: new
 // benchmarks must not need a baseline update to land, and CPU-count name
@@ -126,7 +126,7 @@ func main() {
 	baseline := flag.String("baseline", "", "committed go test -json baseline file")
 	current := flag.String("current", "", "go test -json file of the current run")
 	threshold := flag.Float64("threshold", 1.25, "max allowed current/baseline ns/op ratio in gated packages (1.25 = +25%)")
-	gate := flag.String("gate", "repro/internal/mech,repro/internal/convex,repro/internal/vecmath", "comma-separated packages whose regressions fail the build ('' = report-only)")
+	gate := flag.String("gate", "repro/internal/mech,repro/internal/convex,repro/internal/vecmath,repro/internal/persist", "comma-separated packages whose regressions fail the build ('' = report-only)")
 	flag.Parse()
 	if *baseline == "" || *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -current are required")
