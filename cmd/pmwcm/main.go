@@ -91,7 +91,8 @@ func usage() {
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
               [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]
-              [-state-dir DIR] [-log-level info] [-log-format text|json]
+              [-state-dir DIR] [-wal=false] [-commit-window D]
+              [-log-level info] [-log-format text|json]
   pmwcm loadtest [-url http://127.0.0.1:8787] [-scenario file.json]
               [-mode closed|open] [-duration SEC] [-sessions N]
               [-concurrency C] [-rate R] [-batch B] [-hot RATIO]

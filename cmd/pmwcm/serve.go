@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/dataio"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/mech"
 	"repro/internal/obs"
 	"repro/internal/persist"
@@ -95,9 +96,10 @@ func serveCmd(args []string) error {
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
 	stateDir := fs.String("state-dir", "", "session state directory: sessions checkpoint on every budget spend and on shutdown, and are restored on startup (empty = memory only; budget state dies with the process)")
-	wal := fs.Bool("wal", false, "write-ahead-log write path: per-session logs with group-committed fsyncs instead of a full snapshot per budget spend (requires -state-dir)")
+	wal := fs.Bool("wal", true, "write-ahead-log write path: per-session logs with group-committed fsyncs instead of a full snapshot per budget spend (default on when -state-dir is set; -wal=false opts back into snapshot-per-spend)")
 	commitWindow := fs.Duration("commit-window", 0, "upper bound on how long a group-commit batch stays open while commits keep arriving (0 = 2ms; only with -wal)")
 	compactEvery := fs.Int("compact-every", 0, "fold a session's WAL into its snapshot after this many records (0 = 256; only with -wal)")
+	faultPlan := fs.String("fault-plan", "", "DEV ONLY: deterministic fault-injection plan for the durability write path (chaos drills; e.g. 'error@40,torn@90:7' or 'seed=7,window=400,faults=3,modes=error+torn'); requires -state-dir")
 	logLevel := fs.String("log-level", "info", "request/startup log level (debug, info, warn, error)")
 	logFormat := fs.String("log-format", "text", "log output format (text, json)")
 	if err := fs.Parse(args); err != nil {
@@ -147,12 +149,36 @@ func serveCmd(args []string) error {
 	// fingerprints a different dataset.
 	var store *persist.Store
 	if *stateDir != "" {
-		if store, err = persist.Open(*stateDir); err != nil {
+		fsys := fault.OS
+		if *faultPlan != "" {
+			plan, err := fault.ParsePlan(*faultPlan)
+			if err != nil {
+				return err
+			}
+			fsys = fault.Wrap(fault.OS, plan)
+			logger.Warn("fault injection ACTIVE on the durability write path (dev only)", "plan", *faultPlan)
+		}
+		if store, err = persist.OpenFS(*stateDir, fsys); err != nil {
 			return err
 		}
+	} else if *faultPlan != "" {
+		return fmt.Errorf("-fault-plan requires -state-dir")
 	}
-	if *wal && store == nil {
-		return fmt.Errorf("-wal requires -state-dir")
+	// WAL mode defaults on, but only means something with a state
+	// directory: without one it silently stays off, unless the operator
+	// explicitly asked for it — then refuse rather than serve a weaker
+	// durability mode than requested.
+	if store == nil {
+		walSet := false
+		fs.Visit(func(f *flag.Flag) {
+			if f.Name == "wal" {
+				walSet = true
+			}
+		})
+		if *wal && walSet {
+			return fmt.Errorf("-wal requires -state-dir")
+		}
+		*wal = false
 	}
 	// The metrics registry observes everything but perturbs nothing: the
 	// served answers are bit-identical with or without it. The xeval

@@ -1,0 +1,93 @@
+// Package fault is a deterministic fault-injection seam for the
+// durability stack: a narrow filesystem interface over exactly the os
+// calls internal/persist makes, with a passthrough implementation for
+// production and an injecting one that fails chosen operations from a
+// seeded plan.
+//
+// Why it exists: the paper's mechanism is only private if the served
+// transcript is exactly what the ledger paid for, and that invariant has
+// to hold across every crash point of the write path — a failed fsync, a
+// torn append, ENOSPC mid-checkpoint, a crash between temp-file write and
+// rename. A wall-clock kill drill exercises one arbitrary point per run;
+// this seam makes every durability syscall interceptable so a drill can
+// enumerate the fault points of a clean run and then replay seeded
+// schedules that hit each of them on purpose (see fault/drill).
+//
+// The seam is intentionally minimal: it covers mutating operations plus
+// the reads persist performs (ReadFile, ReadDir, Stat), and it adds no
+// behavior of its own — OS is a zero-cost passthrough to the os package.
+package fault
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// File is the open-file surface persist uses: sequential reads and
+// writes, fsync, truncate, and metadata. *os.File satisfies it.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	// Name returns the path the file was opened with.
+	Name() string
+	// Stat returns the file's metadata.
+	Stat() (fs.FileInfo, error)
+	// Sync commits the file's current contents to stable storage.
+	Sync() error
+	// Truncate changes the file's size without moving the cursor.
+	Truncate(size int64) error
+}
+
+// FS is the filesystem surface persist uses. Implementations must be safe
+// for concurrent use, matching the os package.
+type FS interface {
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// CreateTemp creates a new temporary file with os.CreateTemp semantics.
+	CreateTemp(dir, pattern string) (File, error)
+	// Rename atomically renames (replacing) a file within a filesystem.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file.
+	Remove(name string) error
+	// MkdirAll creates a directory and any missing parents.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Stat returns file metadata.
+	Stat(name string) (fs.FileInfo, error)
+	// ReadFile reads a whole file.
+	ReadFile(name string) ([]byte, error)
+	// ReadDir lists a directory, sorted by filename.
+	ReadDir(name string) ([]fs.DirEntry, error)
+}
+
+// OS is the production filesystem: every call passes straight through to
+// the os package.
+var OS FS = osFS{}
+
+// osFS implements FS over the real filesystem.
+type osFS struct{}
+
+func (osFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                     { return os.Remove(name) }
+func (osFS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (osFS) Stat(name string) (fs.FileInfo, error)        { return os.Stat(name) }
+func (osFS) ReadFile(name string) ([]byte, error)         { return os.ReadFile(name) }
+func (osFS) ReadDir(name string) ([]fs.DirEntry, error)   { return os.ReadDir(name) }

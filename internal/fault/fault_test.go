@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+// writeThrough opens path through fsys, writes data, syncs, and closes,
+// returning the first error.
+func writeThrough(fsys FS, path string, data []byte) error {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func TestTracingEnumeratesOps(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan()
+	plan.Tracing = true
+	fsys := Wrap(OS, plan)
+
+	if err := fsys.MkdirAll(filepath.Join(dir, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeThrough(fsys, filepath.Join(dir, "a"), []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(filepath.Join(dir, "a"), filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Remove(filepath.Join(dir, "b")); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{OpMkdir, OpOpen, OpWrite, OpSync, OpRename, OpRemove}
+	trace := plan.Trace()
+	if len(trace) != len(want) {
+		t.Fatalf("trace has %d ops, want %d: %+v", len(trace), len(want), trace)
+	}
+	for i, op := range trace {
+		if op.Kind != want[i] || op.N != i {
+			t.Fatalf("trace[%d] = %+v, want kind %s at n=%d", i, op, want[i], i)
+		}
+	}
+	if plan.Ops() != len(want) {
+		t.Fatalf("Ops() = %d, want %d", plan.Ops(), len(want))
+	}
+}
+
+func TestErrorInjectionIsTransient(t *testing.T) {
+	dir := t.TempDir()
+	// Op 0 = open, op 1 = write: fail the first write only.
+	plan := NewPlan(Fault{Op: 1, Mode: ModeErr})
+	fsys := Wrap(OS, plan)
+
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err == nil {
+		t.Fatal("faulted write succeeded")
+	} else if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("fault error = %v, want ErrInjected wrapping ENOSPC", err)
+	}
+	// The fault was one-shot: the retry lands and nothing from the faulted
+	// attempt is on disk.
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("post-fault write: %v", err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("post-fault sync: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "ok" {
+		t.Fatalf("file contents %q, want %q", data, "ok")
+	}
+	if plan.Fired() != 1 {
+		t.Fatalf("Fired() = %d, want 1", plan.Fired())
+	}
+}
+
+func TestTornWriteLandsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(Fault{Op: 1, Mode: ModeTorn, Bytes: 3})
+	fsys := Wrap(OS, plan)
+
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	n, err := f.Write([]byte("abcdef"))
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if n != 3 {
+		t.Fatalf("torn write landed %d bytes, want 3", n)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "abc" {
+		t.Fatalf("file contents %q, want torn prefix %q", data, "abc")
+	}
+}
+
+func TestCrashLatchesEveryLaterOp(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(Fault{Op: 2, Mode: ModeCrash})
+	fsys := Wrap(OS, plan)
+
+	path := filepath.Join(dir, "f")
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644) // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("pre")); err != nil { // op 1
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) { // op 2: crash
+		t.Fatalf("crash-point sync error = %v, want ErrCrashed", err)
+	}
+	if !plan.Crashed() {
+		t.Fatal("plan not latched crashed")
+	}
+	// Every later mutating op is refused; nothing more lands on disk.
+	if _, err := f.Write([]byte("post")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write error = %v, want ErrCrashed", err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "g")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename error = %v, want ErrCrashed", err)
+	}
+	if _, err := fsys.OpenFile(filepath.Join(dir, "h"), os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open error = %v, want ErrCrashed", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "pre" {
+		t.Fatalf("file contents %q, want only pre-crash bytes %q", data, "pre")
+	}
+}
+
+func TestStickyKindFault(t *testing.T) {
+	dir := t.TempDir()
+	plan := NewPlan(Fault{Op: -1, Kind: OpSync, Mode: ModeErr})
+	fsys := Wrap(OS, plan)
+
+	f, err := fsys.OpenFile(filepath.Join(dir, "f"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := f.Write([]byte("x")); err != nil {
+		t.Fatalf("write should pass a sync-only sticky fault: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := f.Sync(); !errors.Is(err, ErrInjected) {
+			t.Fatalf("sync %d error = %v, want ErrInjected", i, err)
+		}
+	}
+}
+
+func TestSeededIsDeterministic(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		a, b := Seeded(seed, 300), Seeded(seed, 300)
+		if a != b {
+			t.Fatalf("seed %d: %+v != %+v", seed, a, b)
+		}
+		if a.Op < 0 || a.Op >= 300 {
+			t.Fatalf("seed %d: op %d outside window", seed, a.Op)
+		}
+		switch a.Mode {
+		case ModeErr, ModeTorn, ModeCrash:
+		default:
+			t.Fatalf("seed %d: bad mode %q", seed, a.Mode)
+		}
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("error@12,torn@40:3,crash@77,error@sync+100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Fault{
+		{Op: 12, Mode: ModeErr},
+		{Op: 40, Mode: ModeTorn, Bytes: 3},
+		{Op: 77, Mode: ModeCrash},
+		{Op: -1, Kind: OpSync, After: 100, Mode: ModeErr},
+	}
+	if len(p.faults) != len(want) {
+		t.Fatalf("parsed %d faults, want %d", len(p.faults), len(want))
+	}
+	for i, f := range p.faults {
+		if f != want[i] {
+			t.Fatalf("fault %d = %+v, want %+v", i, f, want[i])
+		}
+	}
+
+	p, err = ParsePlan("seed=7,window=400,faults=3,modes=error+torn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.faults) != 3 {
+		t.Fatalf("seeded plan has %d faults, want 3", len(p.faults))
+	}
+	for _, f := range p.faults {
+		if f.Mode == ModeCrash {
+			t.Fatalf("mode-restricted plan produced a crash fault: %+v", f)
+		}
+		if f.Op < 0 || f.Op >= 400 {
+			t.Fatalf("fault op %d outside window", f.Op)
+		}
+	}
+
+	for _, bad := range []string{"", "nope", "explode@3", "error@-1", "torn@5:x", "seed=x", "seed=1,modes=boom", "error@frobnicate+2"} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Fatalf("ParsePlan(%q) accepted", bad)
+		}
+	}
+}

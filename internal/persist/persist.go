@@ -31,9 +31,10 @@ package persist
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -41,6 +42,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/sample"
 	"repro/internal/transcript"
@@ -184,8 +186,9 @@ type Manifest struct {
 // use on the same id; the service serializes per-session saves behind the
 // session mutex and manifest saves behind the manager mutex.
 type Store struct {
-	dir string
-	met *storeMetrics
+	dir  string
+	fsys fault.FS
+	met  *storeMetrics
 }
 
 // storeMetrics holds the store's checkpoint instruments. nil means
@@ -249,15 +252,50 @@ func (s *Store) Instrument(reg *obs.Registry) {
 	s.met = m
 }
 
-// Open creates the directory if needed and returns a store over it.
+// Open creates the directory if needed and returns a store over it,
+// backed by the real filesystem.
 func Open(dir string) (*Store, error) {
+	return OpenFS(dir, fault.OS)
+}
+
+// OpenFS is Open over an explicit filesystem — the seam fault-injection
+// drills use to intercept every durability syscall the store makes.
+// Opening also sweeps stale ".tmp-*" files: a crash mid-writeAtomic (after
+// the temp file was created, before its rename) leaves one behind, and no
+// later write ever reuses or reads it, so the only correct recovery is to
+// delete it.
+func OpenFS(dir string, fsys fault.FS) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("persist: empty state directory")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persist: creating state directory: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir, fsys: fsys}
+	if err := s.sweepTemp(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// sweepTemp removes stale temp files left by a crash mid-writeAtomic.
+func (s *Store) sweepTemp() error {
+	entries, err := s.fsys.ReadDir(s.dir)
+	if err != nil {
+		return fmt.Errorf("persist: listing state directory: %w", err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		if err := s.fsys.Remove(filepath.Join(s.dir, e.Name())); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			return fmt.Errorf("persist: sweeping stale temp file %s: %w", e.Name(), err)
+		}
+	}
+	return nil
 }
 
 // Dir returns the state directory path.
@@ -267,6 +305,7 @@ const (
 	manifestFile  = "manifest.json"
 	sessionPrefix = "session-"
 	sessionSuffix = ".json"
+	tmpPrefix     = ".tmp-"
 )
 
 // validID restricts session ids to filename-safe characters so an id can
@@ -296,7 +335,7 @@ func (s *Store) sessionPath(id string) string {
 // timedSync fsyncs f, landing the latency in the fsync histogram when the
 // store is instrumented. Snapshot and WAL syncs share the instrument, so
 // the histogram stays the one place fsync health is read from.
-func (s *Store) timedSync(f *os.File) error {
+func (s *Store) timedSync(f fault.File) error {
 	var start time.Time
 	if s.met != nil {
 		start = time.Now()
@@ -312,7 +351,7 @@ func (s *Store) timedSync(f *os.File) error {
 // and crash recovery only ever observe complete files. kind labels the
 // checkpoint counters when the store is instrumented.
 func (s *Store) writeAtomic(path, kind string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	tmp, err := s.fsys.CreateTemp(s.dir, tmpPrefix+"*")
 	if err != nil {
 		return fmt.Errorf("persist: creating temp file: %w", err)
 	}
@@ -322,12 +361,12 @@ func (s *Store) writeAtomic(path, kind string, data []byte) error {
 	cerr := tmp.Close()
 	for _, err := range []error{werr, serr, cerr} {
 		if err != nil {
-			os.Remove(tmpName)
+			s.fsys.Remove(tmpName)
 			return fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err)
 		}
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := s.fsys.Rename(tmpName, path); err != nil {
+		s.fsys.Remove(tmpName)
 		return fmt.Errorf("persist: committing %s: %w", filepath.Base(path), err)
 	}
 	if s.met != nil {
@@ -349,8 +388,8 @@ func (s *Store) SaveManifest(m *Manifest) error {
 // LoadManifest reads the manifest, returning (nil, nil) when the directory
 // has none yet (a fresh state directory).
 func (s *Store) LoadManifest() (*Manifest, error) {
-	data, err := os.ReadFile(filepath.Join(s.dir, manifestFile))
-	if os.IsNotExist(err) {
+	data, err := s.fsys.ReadFile(filepath.Join(s.dir, manifestFile))
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -380,7 +419,7 @@ func (s *Store) LoadSession(id string) (*SessionState, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	data, err := os.ReadFile(s.sessionPath(id))
+	data, err := s.fsys.ReadFile(s.sessionPath(id))
 	if err != nil {
 		return nil, fmt.Errorf("persist: reading session %s: %w", id, err)
 	}
@@ -398,7 +437,7 @@ func (s *Store) LoadSession(id string) (*SessionState, error) {
 // directory rather than trusting the manifest, so a session checkpointed
 // right before a crash is recovered even if no manifest write followed.
 func (s *Store) Sessions() ([]string, error) {
-	entries, err := os.ReadDir(s.dir)
+	entries, err := s.fsys.ReadDir(s.dir)
 	if err != nil {
 		return nil, fmt.Errorf("persist: listing state directory: %w", err)
 	}
@@ -423,7 +462,7 @@ func (s *Store) DeleteSession(id string) error {
 	if err := validID(id); err != nil {
 		return err
 	}
-	if err := os.Remove(s.sessionPath(id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fsys.Remove(s.sessionPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("persist: deleting session %s: %w", id, err)
 	}
 	return nil

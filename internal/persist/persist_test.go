@@ -2,6 +2,7 @@ package persist
 
 import (
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/fault"
 	"repro/internal/universe"
 )
 
@@ -182,5 +184,97 @@ func TestAtomicWriteLeavesNoTemp(t *testing.T) {
 	}
 	if _, err := os.Stat(filepath.Join(dir, "session-s-1.json")); err != nil {
 		t.Error("expected session file name session-s-1.json")
+	}
+}
+
+// TestOpenSweepsStaleTempFiles plants the artifact a crash mid-writeAtomic
+// leaves behind — a temp file that was created but never renamed — and
+// asserts the next Open deletes it while leaving real state files alone.
+func TestOpenSweepsStaleTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSession(&SessionState{ID: "s-1"}); err != nil {
+		t.Fatal(err)
+	}
+	stale := filepath.Join(dir, ".tmp-1234567890")
+	if err := os.WriteFile(stale, []byte("torn checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Errorf("stale temp file survived reopen: %v", err)
+	}
+	if _, err := st2.LoadSession("s-1"); err != nil {
+		t.Errorf("session file lost to the sweep: %v", err)
+	}
+	ids, err := st2.Sessions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 1 || ids[0] != "s-1" {
+		t.Errorf("sessions after sweep = %v, want [s-1]", ids)
+	}
+}
+
+// TestCrashMidWriteAtomicThenSweep drives the real crash path through the
+// fault seam: the checkpoint's temp-file write dies (and so does the
+// error-path cleanup, as it would with the process), the stale temp stays
+// on disk, and a clean reopen sweeps it.
+func TestCrashMidWriteAtomicThenSweep(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SaveSession(&SessionState{ID: "s-1"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen through an injecting FS that crashes at the temp-file write of
+	// the next checkpoint: mkdir(0), create(1), write(2) = crash.
+	plan := fault.NewPlan(fault.Fault{Op: 2, Mode: fault.ModeCrash, Bytes: 5})
+	ist, err := OpenFS(dir, fault.Wrap(fault.OS, plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ist.SaveSession(&SessionState{ID: "s-1", Closed: true}); !errors.Is(err, fault.ErrCrashed) {
+		t.Fatalf("checkpoint error = %v, want ErrCrashed", err)
+	}
+	var stale []string
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			stale = append(stale, e.Name())
+		}
+	}
+	if len(stale) != 1 {
+		t.Fatalf("crashed checkpoint left %d temp files, want 1: %v", len(stale), stale)
+	}
+
+	// Restart: clean FS. The sweep removes the orphan and the pre-crash
+	// checkpoint is intact.
+	st2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".tmp-") {
+			t.Errorf("stale temp file %s survived reopen", e.Name())
+		}
+	}
+	back, err := st2.LoadSession("s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Closed {
+		t.Error("torn checkpoint took effect: session marked closed")
 	}
 }

@@ -32,12 +32,15 @@ package persist
 import (
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
 	"path/filepath"
 
+	"repro/internal/fault"
 	"repro/internal/transcript"
 )
 
@@ -102,7 +105,7 @@ func (s *Store) walPath(id string) string {
 // safe to issue from there because appends are quiescent while a commit
 // batch holds the waiters).
 type WAL struct {
-	f       *os.File
+	f       fault.File
 	store   *Store
 	id      string
 	records int   // event/close records in the file (header excluded)
@@ -136,7 +139,7 @@ func (s *Store) OpenWAL(id string) (*WAL, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(s.walPath(id), os.O_CREATE|os.O_RDWR, 0o644)
+	f, err := s.fsys.OpenFile(s.walPath(id), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persist: opening wal for %s: %w", id, err)
 	}
@@ -264,11 +267,11 @@ func (w *WAL) Bytes() int64 { return w.bytes }
 // when the tail matters).
 func (w *WAL) Close() error { return w.f.Close() }
 
-// readWAL reads every complete, checksummed record from r, stopping at the
+// readWAL reads every complete, checksummed record from f, stopping at the
 // first torn or corrupt frame. It returns the event/close records (header
 // verified and stripped), the byte offset of the clean prefix, and whether
 // a torn tail was found after it.
-func readWAL(f *os.File, id string) (recs []*WALRecord, clean int64, torn bool, err error) {
+func readWAL(f fault.File, id string) (recs []*WALRecord, clean int64, torn bool, err error) {
 	if _, err := f.Seek(0, io.SeekStart); err != nil {
 		return nil, 0, false, fmt.Errorf("persist: rewinding wal for %s: %w", id, err)
 	}
@@ -276,6 +279,14 @@ func readWAL(f *os.File, id string) (recs []*WALRecord, clean int64, torn bool, 
 	if err != nil {
 		return nil, 0, false, fmt.Errorf("persist: reading wal for %s: %w", id, err)
 	}
+	return parseWAL(data, id)
+}
+
+// parseWAL is readWAL's pure frame parser over the raw file bytes — split
+// out so the fuzz target can feed it arbitrary inputs without touching
+// disk. Every returned record passed its length and CRC checks and
+// decoded; clean is always a frame boundary within data.
+func parseWAL(data []byte, id string) (recs []*WALRecord, clean int64, torn bool, err error) {
 	off := 0
 	sawHeader := false
 	for {
@@ -338,8 +349,8 @@ func (s *Store) LoadWAL(id string) ([]*WALRecord, error) {
 	if err := validID(id); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(s.walPath(id), os.O_RDWR, 0)
-	if os.IsNotExist(err) {
+	f, err := s.fsys.OpenFile(s.walPath(id), os.O_RDWR, 0)
+	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
@@ -369,7 +380,7 @@ func (s *Store) HasWAL(id string) bool {
 	if validID(id) != nil {
 		return false
 	}
-	_, err := os.Stat(s.walPath(id))
+	_, err := s.fsys.Stat(s.walPath(id))
 	return err == nil
 }
 
@@ -379,7 +390,7 @@ func (s *Store) RemoveWAL(id string) error {
 	if err := validID(id); err != nil {
 		return err
 	}
-	if err := os.Remove(s.walPath(id)); err != nil && !os.IsNotExist(err) {
+	if err := s.fsys.Remove(s.walPath(id)); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return fmt.Errorf("persist: deleting wal for %s: %w", id, err)
 	}
 	return nil

@@ -1,0 +1,72 @@
+package service_test
+
+// drill_test.go is the chaos-drill gate at the service layer: it runs the
+// fault/drill harness — enumerate the WAL write path's fault points on a
+// clean run, then replay seeded crash schedules — and fails on any
+// persistence-invariant violation. It lives in the external test package
+// because the harness itself imports service.
+//
+// The default matrix stays small so `go test ./...` is fast; CI's chaos
+// job widens it through PMWCM_DRILL_SCHEDULES (and can move the seed base
+// with PMWCM_DRILL_SEED — any failure reproduces from the schedule seed
+// alone).
+
+import (
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/fault/drill"
+)
+
+// drillEnvInt reads an integer knob from the environment.
+func drillEnvInt(t *testing.T, name string, def int) int {
+	t.Helper()
+	v := os.Getenv(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 1 {
+		t.Fatalf("%s = %q: want a positive integer", name, v)
+	}
+	return n
+}
+
+func TestChaosDrillMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill matrix skipped in -short mode")
+	}
+	schedules := drillEnvInt(t, "PMWCM_DRILL_SCHEDULES", 8)
+	seed := int64(drillEnvInt(t, "PMWCM_DRILL_SEED", 1))
+
+	rep, err := drill.Run(drill.Options{}, seed, schedules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The clean run must expose a real fault surface: the issue's floor is
+	// 20 distinct write-path points; a collapse below it means the seam
+	// silently stopped covering the write path.
+	if rep.WritePoints < 20 {
+		t.Fatalf("clean run enumerated %d write-path fault points, want >= 20 (window %d)", rep.WritePoints, rep.Window)
+	}
+
+	fired, crashed := 0, 0
+	for _, r := range rep.Results {
+		if r.Failure != "" {
+			t.Errorf("schedule seed=%d fault=%s (fired=%d crashed=%v released=%d tops=%d): %s",
+				r.Seed, r.Fault, r.Fired, r.Crashed, r.Released, r.TopsReleased, r.Failure)
+		}
+		if r.Fired > 0 {
+			fired++
+		}
+		if r.Crashed {
+			crashed++
+		}
+	}
+	if fired == 0 {
+		t.Errorf("no schedule's fault fired: window %d is mis-sized", rep.Window)
+	}
+	t.Logf("drill: window=%d write_points=%d schedules=%d fired=%d crashed=%d failures=%d",
+		rep.Window, rep.WritePoints, schedules, fired, crashed, rep.Failures)
+}

@@ -421,3 +421,75 @@ func TestWALRequiresStore(t *testing.T) {
 		t.Fatalf("healthz on WAL server: %s", rr.Body.String())
 	}
 }
+
+// TestWALCommitCompactionHammer is the -race stress for the commit path:
+// several sessions drive queries (appends + group commits) while a
+// per-session goroutine hammers forced checkpoints, with CompactEvery=2 so
+// compaction — snapshot rewrite plus WAL truncate-and-reheader — fires on
+// nearly every commit, all through one shared group committer. The
+// sessions must answer every query, and a post-abandon recovery must
+// restore each with its full ledger.
+func TestWALCommitCompactionHammer(t *testing.T) {
+	defaults := SessionParams{Eps: 2, Delta: 1e-6, Alpha: 0.1, K: 60, TBudget: 8}
+	dir := t.TempDir()
+	m1 := walManager(t, dir, 1, 9, defaults, 2)
+
+	const nSess, n = 3, 16
+	sessions := make([]*Session, nSess)
+	var err error
+	for i := range sessions {
+		if sessions[i], err = m1.CreateSession(SessionParams{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for _, s := range sessions {
+		done := make(chan struct{})
+		wg.Add(2)
+		go func(s *Session) {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+					if err := s.Checkpoint(); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(s)
+		go func(s *Session) {
+			defer wg.Done()
+			defer close(done)
+			for i := 0; i < n; i++ {
+				if _, err := s.Query(distinctSpec(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.TranscriptJSON(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Abandon m1 (no shutdown: a crash) and recover.
+	m2 := walManager(t, dir, 1, 10, defaults, 2)
+	defer m2.Shutdown()
+	for _, s := range sessions {
+		r, err := m2.Session(s.ID())
+		if err != nil {
+			t.Fatalf("session %s not recovered: %v", s.ID(), err)
+		}
+		if got := r.Status().QueriesUsed; got != n {
+			t.Errorf("session %s recovered with %d queries, want %d", s.ID(), got, n)
+		}
+	}
+}

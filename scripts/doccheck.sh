@@ -6,12 +6,15 @@
 #   3. doccheck         : every internal package has a package doc comment,
 #                         and every exported symbol in internal/obs,
 #                         internal/persist, internal/service,
-#                         internal/universe, internal/vecmath, and
-#                         internal/xeval has a doc comment (the serving +
-#                         persistence + observability surface is the repo's
-#                         operational API, and the universe/kernel/engine
-#                         substrate is what every new sweep builds on, so
-#                         both are held to the strictest standard)
+#                         internal/universe, internal/vecmath,
+#                         internal/xeval, internal/fault, and
+#                         internal/fault/drill has a doc comment (the
+#                         serving + persistence + observability surface is
+#                         the repo's operational API, the universe/kernel/
+#                         engine substrate is what every new sweep builds
+#                         on, and the fault seam is load-bearing for every
+#                         durability claim, so all are held to the
+#                         strictest standard)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,11 +32,13 @@ for d in internal/*/; do
     case "$d" in
         internal/obs/|internal/persist/|internal/service/) ;; # strict-checked below
         internal/universe/|internal/vecmath/|internal/xeval/) ;; # strict-checked below
+        internal/fault/) ;; # strict-checked below (with its nested drill package)
         *) pkgdoc_args+=(-pkgdoc "${d%/}") ;;
     esac
 done
 go run ./scripts/doccheck "${pkgdoc_args[@]}" \
     internal/obs internal/persist internal/service \
-    internal/universe internal/vecmath internal/xeval
+    internal/universe internal/vecmath internal/xeval \
+    internal/fault internal/fault/drill
 
 echo "doccheck: OK"
