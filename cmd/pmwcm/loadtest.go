@@ -19,6 +19,8 @@ import (
 func loadtestCmd(args []string) error {
 	fs := flag.NewFlagSet("loadtest", flag.ContinueOnError)
 	url := fs.String("url", "http://127.0.0.1:8787", "serve endpoint base URL")
+	urls := fs.String("urls", "", "comma-separated endpoint base URLs; sessions are assigned round-robin (overrides -url)")
+	metricsURLs := fs.String("metrics-urls", "", "comma-separated /metrics endpoints to scrape and sum for the server-side view (default: the base URLs; point this at the replicas when driving a router)")
 	scenarioPath := fs.String("scenario", "", "JSON scenario file (flags below override its fields when set)")
 	name := fs.String("name", "", "scenario label in the report")
 	mode := fs.String("mode", "", "arrival process: closed (default) or open")
@@ -59,6 +61,12 @@ func loadtestCmd(args []string) error {
 	})
 	if sc.BaseURL == "" || urlSet {
 		sc.BaseURL = *url
+	}
+	if *urls != "" {
+		sc.BaseURLs = splitComma(*urls)
+	}
+	if *metricsURLs != "" {
+		sc.MetricsURLs = splitComma(*metricsURLs)
 	}
 	if *name != "" {
 		sc.Name = *name
@@ -130,6 +138,10 @@ func loadtestCmd(args []string) error {
 	if s := rep.Server; s != nil && s.Supported {
 		fmt.Fprintf(os.Stderr, "pmwcm loadtest: server metrics: %d queries (%d hits, %d tops, %d bottoms), 5xx %d\n",
 			s.Queries, s.CacheHits, s.Tops, s.Bottoms, s.Status5xx)
+	}
+	if rep.Scenario.Mode == "churn" {
+		fmt.Fprintf(os.Stderr, "pmwcm loadtest: churn: %d sessions created, %d resumed, %d closed, %d lifecycle errors\n",
+			rep.SessionsCreated, rep.SessionsResumed, rep.SessionsClosed, rep.ChurnErrors)
 	}
 
 	if *minHits > 0 && rep.CacheHits < *minHits {

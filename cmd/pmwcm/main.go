@@ -71,6 +71,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "pmwcm:", err)
 			os.Exit(1)
 		}
+	case "store":
+		if err := storeCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
+	case "route":
+		if err := routeCmd(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "pmwcm:", err)
+			os.Exit(1)
+		}
 	case "version", "-version", "--version":
 		fmt.Println(obs.Version().String())
 	case "-h", "--help", "help":
@@ -91,13 +101,18 @@ func usage() {
   pmwcm serve [-addr :8787] [-data data.csv] [-dim D] [-levels L] [-labels M]
               [-eps E] [-delta D] [-alpha A] [-k K] [-oracle NAME]
               [-accountant NAME] [-workers W] [-maxsessions N] [-seed S]
-              [-state-dir DIR] [-wal=false] [-commit-window D]
+              [-state-dir DIR | -store-url http://h:9099/v1/stores/NAME]
+              [-wal=false] [-commit-window D] [-max-resident N] [-idle-ttl D]
               [-log-level info] [-log-format text|json]
-  pmwcm loadtest [-url http://127.0.0.1:8787] [-scenario file.json]
-              [-mode closed|open] [-duration SEC] [-sessions N]
+  pmwcm loadtest [-url http://127.0.0.1:8787] [-urls u1,u2,...] [-scenario file.json]
+              [-mode closed|open|churn] [-duration SEC] [-sessions N]
               [-concurrency C] [-rate R] [-batch B] [-hot RATIO]
               [-hotkeys H] [-accountants a,b] [-k K] [-out report.json]
-              [-min-hits N] [-max-5xx N] [-check-metrics]
+              [-min-hits N] [-max-5xx N] [-check-metrics] [-metrics-urls u1,u2,...]
+  pmwcm store [-addr :9099] -dir DIR
+  pmwcm route [-addr :9100] -replicas r1=http://h1:8787,r2=http://h2:8787
+              [-store-url http://h:9099] [-timeout D] [-retry-after D]
+              [-log-level info] [-log-format text|json]
   pmwcm version`)
 }
 

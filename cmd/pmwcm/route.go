@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/route"
+)
+
+// routeCmd runs the fleet front door: a consistent-hashing session router
+// over a set of `pmwcm serve` replicas. Session ids pin their replica
+// through a fixed virtual-node ring, so any router instance (the router
+// is stateless and restartable) agrees on every placement; requests to a
+// down replica fail fast with a typed 503 + Retry-After, and transcripts
+// stay readable through the shared blob store (-store-url).
+func routeCmd(args []string) error {
+	fs := flag.NewFlagSet("route", flag.ContinueOnError)
+	addr := fs.String("addr", ":9100", "listen address")
+	replicas := fs.String("replicas", "", "comma-separated replica set: name=url,... (names are hash-ring keys and store namespaces; keep them stable)")
+	storeURL := fs.String("store-url", "", "shared blob-store base URL (a `pmwcm store` endpoint): serves transcripts of sessions on down replicas from their last checkpoint")
+	timeout := fs.Duration("timeout", 15*time.Second, "per-request forwarding timeout")
+	retryAfter := fs.Duration("retry-after", 2*time.Second, "Retry-After value on replica-down 503s, and the passive-health cool-down")
+	logLevel := fs.String("log-level", "info", "request/startup log level (debug, info, warn, error)")
+	logFormat := fs.String("log-format", "text", "log output format (text, json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	logger, err := buildLogger(*logLevel, *logFormat)
+	if err != nil {
+		return err
+	}
+	reps, err := route.ParseReplicas(*replicas)
+	if err != nil {
+		return err
+	}
+
+	reg := obs.NewRegistry()
+	rt, err := route.New(reps, route.Options{
+		Timeout:    *timeout,
+		RetryAfter: *retryAfter,
+		CoolDown:   *retryAfter,
+		StoreURL:   *storeURL,
+		Metrics:    reg,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: obs.Middleware(reg, rt.Handler(), obs.MiddlewareOptions{Logger: logger})}
+	logger.Info("router listening", "addr", ln.Addr().String(),
+		"replicas", len(reps), "store_url", *storeURL, "version", obs.Version().String())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		logger.Info("shutting down", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

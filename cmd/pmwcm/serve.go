@@ -96,6 +96,9 @@ func serveCmd(args []string) error {
 	maxK := fs.Int("maxk", 100000, "maximum per-session query cap an analyst may request")
 	seed := fs.Int64("seed", 1, "random seed for all mechanism noise")
 	stateDir := fs.String("state-dir", "", "session state directory: sessions checkpoint on every budget spend and on shutdown, and are restored on startup (empty = memory only; budget state dies with the process)")
+	storeURL := fs.String("store-url", "", "remote blob-store base URL (a `pmwcm store` endpoint, e.g. http://host:9099/v1/stores/r1): sessions checkpoint over HTTP with fingerprint-verified loads instead of a local -state-dir; mutually exclusive with -state-dir, implies -wal=false")
+	maxResident := fs.Int("max-resident", 0, "cap on live sessions held in memory: past it the least-recently-used sessions are evicted to the store and paged back in on their next touch (0 = unlimited; requires -state-dir or -store-url)")
+	idleTTL := fs.Duration("idle-ttl", 0, "evict live sessions untouched for this long (0 = never; requires -state-dir or -store-url)")
 	wal := fs.Bool("wal", true, "write-ahead-log write path: per-session logs with group-committed fsyncs instead of a full snapshot per budget spend (default on when -state-dir is set; -wal=false opts back into snapshot-per-spend)")
 	commitWindow := fs.Duration("commit-window", 0, "upper bound on how long a group-commit batch stays open while commits keep arriving (0 = 2ms; only with -wal)")
 	compactEvery := fs.Int("compact-every", 0, "fold a session's WAL into its snapshot after this many records (0 = 256; only with -wal)")
@@ -146,8 +149,15 @@ func serveCmd(args []string) error {
 	// -state-dir makes sessions durable: with the same flags (dataset,
 	// seed, oracle) a restarted server restores every session and continues
 	// it bit-identically; recovery refuses a state directory whose manifest
-	// fingerprints a different dataset.
-	var store *persist.Store
+	// fingerprints a different dataset. -store-url does the same through a
+	// remote `pmwcm store` blob endpoint — the fleet deployment, where
+	// replicas keep no local state. The backend variable (not the concrete
+	// *persist.Store) goes into the config, so a nil *Store can never hide
+	// inside a non-nil interface.
+	var backend persist.Backend
+	if *stateDir != "" && *storeURL != "" {
+		return fmt.Errorf("-state-dir and -store-url are mutually exclusive (one durable home per replica)")
+	}
 	if *stateDir != "" {
 		fsys := fault.OS
 		if *faultPlan != "" {
@@ -158,17 +168,30 @@ func serveCmd(args []string) error {
 			fsys = fault.Wrap(fault.OS, plan)
 			logger.Warn("fault injection ACTIVE on the durability write path (dev only)", "plan", *faultPlan)
 		}
-		if store, err = persist.OpenFS(*stateDir, fsys); err != nil {
+		store, err := persist.OpenFS(*stateDir, fsys)
+		if err != nil {
 			return err
 		}
+		backend = store
+	} else if *storeURL != "" {
+		if *faultPlan != "" {
+			return fmt.Errorf("-fault-plan requires -state-dir (the store process owns the remote write path; pass it there)")
+		}
+		remote, err := persist.OpenRemote(*storeURL, persist.RemoteOptions{})
+		if err != nil {
+			return err
+		}
+		backend = remote
 	} else if *faultPlan != "" {
 		return fmt.Errorf("-fault-plan requires -state-dir")
 	}
 	// WAL mode defaults on, but only means something with a state
 	// directory: without one it silently stays off, unless the operator
 	// explicitly asked for it — then refuse rather than serve a weaker
-	// durability mode than requested.
-	if store == nil {
+	// durability mode than requested. The remote backend has no
+	// per-session log (every checkpoint is one atomic blob PUT), so
+	// -store-url always runs snapshot checkpoints.
+	if *stateDir == "" {
 		walSet := false
 		fs.Visit(func(f *flag.Flag) {
 			if f.Name == "wal" {
@@ -176,9 +199,15 @@ func serveCmd(args []string) error {
 			}
 		})
 		if *wal && walSet {
+			if *storeURL != "" {
+				return fmt.Errorf("-wal is not supported with -store-url (the remote store has no per-session log; snapshot checkpoints are used)")
+			}
 			return fmt.Errorf("-wal requires -state-dir")
 		}
 		*wal = false
+	}
+	if (*maxResident > 0 || *idleTTL > 0) && backend == nil {
+		return fmt.Errorf("-max-resident/-idle-ttl require a durable store (-state-dir or -store-url): an evicted session must have somewhere to live")
 	}
 	// The metrics registry observes everything but perturbs nothing: the
 	// served answers are bit-identical with or without it. The xeval
@@ -204,18 +233,22 @@ func serveCmd(args []string) error {
 			Engine:     *engine,
 		},
 		Limits:       service.Limits{MaxSessions: *maxSessions, MaxK: *maxK},
-		Store:        store,
+		Store:        backend,
 		Metrics:      reg,
 		WAL:          *wal,
 		CommitWindow: *commitWindow,
 		CompactEvery: *compactEvery,
+		MaxResident:  *maxResident,
+		IdleTTL:      *idleTTL,
 	})
 	if err != nil {
 		return err
 	}
 	logger.Info("starting", "version", obs.Version().String())
-	if store != nil {
-		logger.Info("state directory opened", "dir", store.Dir(), "restored_live_sessions", mgr.OpenSessions(), "wal", *wal)
+	if backend != nil {
+		logger.Info("durable store opened", "location", backend.Location(),
+			"restored_live_sessions", mgr.OpenSessions(), "wal", *wal,
+			"max_resident", *maxResident, "idle_ttl", idleTTL.String())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

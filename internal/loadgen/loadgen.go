@@ -42,12 +42,26 @@ type Scenario struct {
 	Name string `json:"name,omitempty"`
 	// BaseURL is the serve endpoint, e.g. "http://127.0.0.1:8787".
 	BaseURL string `json:"base_url"`
+	// BaseURLs optionally fans the workload out over several endpoints
+	// (replicas, or routers): sessions are assigned round-robin and every
+	// request for a session goes to its own endpoint. When set it
+	// supersedes BaseURL.
+	BaseURLs []string `json:"base_urls,omitempty"`
+	// MetricsURLs optionally names the endpoints whose /metrics are
+	// scraped and SUMMED for the server-side view (default: the base
+	// URLs). A fleet run drives the router but scrapes the replicas —
+	// the router forwards queries, the replicas count them.
+	MetricsURLs []string `json:"metrics_urls,omitempty"`
 	// Mode selects the arrival process: "closed" (default) keeps
 	// Concurrency workers per session in a request→response loop — load
 	// tracks service capacity; "open" issues arrivals at a fixed Rate per
 	// second regardless of completions — load tracks the offered rate, the
-	// honest model for latency under overload.
+	// honest model for latency under overload; "churn" cycles session
+	// lifetimes (create → query burst → idle → resume → maybe close, see
+	// Churn) — load tracks the eviction/page-in path, not steady state.
 	Mode string `json:"mode,omitempty"`
+	// Churn tunes mode "churn"; nil takes every default.
+	Churn *ChurnConfig `json:"churn,omitempty"`
 	// DurationSec is the measured run length in seconds (default 5).
 	DurationSec float64 `json:"duration_sec,omitempty"`
 	// Sessions is the session fan-out (default 1). Each session is created
@@ -86,6 +100,27 @@ type Scenario struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// ChurnConfig shapes mode "churn": each of Sessions workers loops through
+// whole session lifetimes instead of querying one long-lived session.
+// The idle gaps are what make it a scale-out workload — against a server
+// running -idle-ttl they force evictions, and the resume bursts force
+// page-ins, all measured from the outside.
+type ChurnConfig struct {
+	// QueriesPerBurst is the number of requests per activity burst
+	// (default 4).
+	QueriesPerBurst int `json:"queries_per_burst,omitempty"`
+	// IdleSec is the pause between bursts (default 0.5) — set it above the
+	// server's -idle-ttl to guarantee evictions between bursts.
+	IdleSec float64 `json:"idle_sec,omitempty"`
+	// Resumes is how many idle→burst cycles follow the first burst
+	// (default 1).
+	Resumes int `json:"resumes,omitempty"`
+	// CloseRatio is the probability a session is closed at the end of its
+	// cycle (default 0.5); the rest are abandoned for the server's idle
+	// janitor to evict. Negative means explicitly never close.
+	CloseRatio float64 `json:"close_ratio,omitempty"`
+}
+
 // normalized fills the documented defaults.
 func (sc Scenario) normalized() Scenario {
 	if sc.Mode == "" {
@@ -121,18 +156,54 @@ func (sc Scenario) normalized() Scenario {
 	if sc.Seed == 0 {
 		sc.Seed = 1
 	}
+	if sc.Mode == "churn" {
+		c := ChurnConfig{}
+		if sc.Churn != nil {
+			c = *sc.Churn
+		}
+		if c.QueriesPerBurst <= 0 {
+			c.QueriesPerBurst = 4
+		}
+		if c.IdleSec <= 0 {
+			c.IdleSec = 0.5
+		}
+		if c.Resumes <= 0 {
+			c.Resumes = 1
+		}
+		switch {
+		case c.CloseRatio < 0:
+			c.CloseRatio = 0 // explicitly never close
+		case c.CloseRatio == 0 || c.CloseRatio > 1:
+			c.CloseRatio = 0.5
+		}
+		sc.Churn = &c
+	}
 	return sc
+}
+
+// bases returns the effective endpoint list (BaseURLs, else BaseURL),
+// trailing slashes trimmed.
+func (sc *Scenario) bases() []string {
+	urls := sc.BaseURLs
+	if len(urls) == 0 {
+		urls = []string{sc.BaseURL}
+	}
+	out := make([]string, len(urls))
+	for i, u := range urls {
+		out[i] = strings.TrimRight(u, "/")
+	}
+	return out
 }
 
 // Validate rejects scenarios Run cannot execute.
 func (sc Scenario) Validate() error {
-	if sc.BaseURL == "" {
-		return fmt.Errorf("loadgen: scenario needs a base_url")
+	if sc.BaseURL == "" && len(sc.BaseURLs) == 0 {
+		return fmt.Errorf("loadgen: scenario needs a base_url (or base_urls)")
 	}
 	switch sc.Mode {
-	case "", "closed", "open":
+	case "", "closed", "open", "churn":
 	default:
-		return fmt.Errorf("loadgen: unknown mode %q (have closed, open)", sc.Mode)
+		return fmt.Errorf("loadgen: unknown mode %q (have closed, open, churn)", sc.Mode)
 	}
 	return nil
 }
@@ -267,6 +338,15 @@ type Report struct {
 	// (and counted) server-side, so the consistency check allows for them.
 	CutOff int `json:"cut_off,omitempty"`
 
+	// SessionsCreated/Resumed/Closed count churn-mode lifecycle activity
+	// (a resume is an idle→burst cycle against an existing session — the
+	// outside view of an eviction/page-in round trip); ChurnErrors counts
+	// failed lifecycle operations during a live window.
+	SessionsCreated int `json:"sessions_created,omitempty"`
+	SessionsResumed int `json:"sessions_resumed,omitempty"`
+	SessionsClosed  int `json:"sessions_closed,omitempty"`
+	ChurnErrors     int `json:"churn_errors,omitempty"`
+
 	// Server is the server's own /metrics view of the window (counter
 	// deltas between the pre- and post-run scrapes); nil when the target
 	// does not expose a metrics registry. See CheckServerConsistency.
@@ -325,6 +405,13 @@ func (c *collector) add(o outcome) {
 	c.latencies = append(c.latencies, o.latencyMS)
 }
 
+// churn applies one lifecycle-counter update under the collector lock.
+func (c *collector) churn(f func(*Report)) {
+	c.mu.Lock()
+	f(&c.report)
+	c.mu.Unlock()
+}
+
 // queryResult mirrors the server's per-query reply fields loadgen reads.
 type queryResult struct {
 	Top    bool `json:"top"`
@@ -352,41 +439,47 @@ func (r *Runner) client() *http.Client {
 	return &http.Client{Timeout: 30 * time.Second}
 }
 
+// target is one session pinned to the endpoint that must serve it.
+type target struct {
+	id   string
+	base string
+}
+
 // Run executes sc until its duration elapses (or ctx cancels) and returns
-// the measured report. Sessions are created before and closed after the
-// measured window; creation failures abort the run.
+// the measured report. In closed/open mode, sessions are created before
+// and closed after the measured window (creation failures abort the run);
+// churn mode creates and retires its own sessions inside the window.
 func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
 	sc = sc.normalized()
-	base := strings.TrimRight(sc.BaseURL, "/")
+	bases := sc.bases()
 
-	sessions := make([]string, sc.Sessions)
-	for i := range sessions {
-		params := map[string]any{}
-		for k, v := range sc.SessionParams {
-			params[k] = v
-		}
-		if len(sc.Accountants) > 0 {
-			params["accountant"] = sc.Accountants[i%len(sc.Accountants)]
-		}
-		id, err := r.createSession(ctx, base, params)
-		if err != nil {
-			return nil, fmt.Errorf("loadgen: creating session %d/%d: %w", i+1, sc.Sessions, err)
-		}
-		sessions[i] = id
-	}
-	defer func() {
-		for _, id := range sessions {
-			req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
-			if err == nil {
-				if resp, err := r.client().Do(req); err == nil {
-					resp.Body.Close()
-				}
+	var sessions []target
+	if sc.Mode != "churn" {
+		sessions = make([]target, sc.Sessions)
+		for i := range sessions {
+			params := map[string]any{}
+			for k, v := range sc.SessionParams {
+				params[k] = v
 			}
+			if len(sc.Accountants) > 0 {
+				params["accountant"] = sc.Accountants[i%len(sc.Accountants)]
+			}
+			base := bases[i%len(bases)]
+			id, err := r.createSession(ctx, base, params)
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: creating session %d/%d: %w", i+1, sc.Sessions, err)
+			}
+			sessions[i] = target{id: id, base: base}
 		}
-	}()
+		defer func() {
+			for _, t := range sessions {
+				r.closeSession(t.base, t.id)
+			}
+		}()
+	}
 
 	col := &collector{report: Report{
 		Scenario:     sc,
@@ -397,7 +490,11 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 	// query traffic lands between the two snapshots. A failed scrape (no
 	// /metrics on the target) leaves Report.Server nil rather than failing
 	// the run — consistency gating is opt-in at the CLI.
-	preScrape, scrapeErr := r.scrapeMetrics(ctx, base)
+	metricsURLs := sc.MetricsURLs
+	if len(metricsURLs) == 0 {
+		metricsURLs = bases
+	}
+	preScrape, scrapeErr := r.scrapeAll(ctx, metricsURLs)
 	runCtx, cancel := context.WithTimeout(ctx, time.Duration(sc.DurationSec*float64(time.Second)))
 	defer cancel()
 	start := time.Now()
@@ -405,16 +502,18 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 
 	switch sc.Mode {
 	case "open":
-		r.runOpen(runCtx, base, sessions, &sc, &cold, col)
+		r.runOpen(runCtx, sessions, &sc, &cold, col)
+	case "churn":
+		r.runChurn(runCtx, bases, &sc, &cold, col)
 	default:
-		r.runClosed(runCtx, base, sessions, &sc, &cold, col)
+		r.runClosed(runCtx, sessions, &sc, &cold, col)
 	}
 
 	elapsed := time.Since(start).Seconds()
 	if scrapeErr == nil {
 		// Post-run scrape after every worker has joined (and before the
 		// deferred session closes, which touch no query counters).
-		if postScrape, err := r.scrapeMetrics(ctx, base); err == nil {
+		if postScrape, err := r.scrapeAll(ctx, metricsURLs); err == nil {
 			col.report.Server = serverDeltas(preScrape, postScrape)
 		}
 	}
@@ -433,27 +532,91 @@ func (r *Runner) Run(ctx context.Context, sc Scenario) (*Report, error) {
 
 // runClosed keeps Concurrency workers per session in a request loop until
 // ctx expires.
-func (r *Runner) runClosed(ctx context.Context, base string, sessions []string, sc *Scenario, cold *atomic.Uint64, col *collector) {
+func (r *Runner) runClosed(ctx context.Context, sessions []target, sc *Scenario, cold *atomic.Uint64, col *collector) {
 	var wg sync.WaitGroup
-	for si, id := range sessions {
+	for si, t := range sessions {
 		for w := 0; w < sc.Concurrency; w++ {
 			wg.Add(1)
 			gen := &generator{rng: rand.New(rand.NewSource(sc.Seed + int64(si*1000+w))), sc: sc, cold: cold}
-			go func(id string) {
+			go func(t target) {
 				defer wg.Done()
 				for ctx.Err() == nil {
-					col.add(r.issue(ctx, base, id, gen))
+					col.add(r.issue(ctx, t.base, t.id, gen))
 				}
-			}(id)
+			}(t)
 		}
 	}
 	wg.Wait()
 }
 
+// runChurn cycles whole session lifetimes: each of Sessions workers
+// repeatedly creates a session on its endpoint, bursts queries at it,
+// idles long enough for a server-side eviction, resumes (forcing a
+// page-in), and then either closes the session or abandons it to the
+// server's idle janitor. Lifecycle failures during a live window are
+// counted, never silent.
+func (r *Runner) runChurn(ctx context.Context, bases []string, sc *Scenario, cold *atomic.Uint64, col *collector) {
+	var wg sync.WaitGroup
+	for w := 0; w < sc.Sessions; w++ {
+		wg.Add(1)
+		gen := &generator{rng: rand.New(rand.NewSource(sc.Seed + int64(w))), sc: sc, cold: cold}
+		base := bases[w%len(bases)]
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; ctx.Err() == nil; n++ {
+				r.churnCycle(ctx, base, sc, gen, col, w*100000+n)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// churnCycle runs one session lifetime for a churn worker.
+func (r *Runner) churnCycle(ctx context.Context, base string, sc *Scenario, gen *generator, col *collector, n int) {
+	params := map[string]any{}
+	for k, v := range sc.SessionParams {
+		params[k] = v
+	}
+	if len(sc.Accountants) > 0 {
+		params["accountant"] = sc.Accountants[n%len(sc.Accountants)]
+	}
+	id, err := r.createSession(ctx, base, params)
+	if err != nil {
+		if ctx.Err() == nil {
+			col.churn(func(rep *Report) { rep.ChurnErrors++ })
+		}
+		return
+	}
+	col.churn(func(rep *Report) { rep.SessionsCreated++ })
+	burst := func() {
+		for q := 0; q < sc.Churn.QueriesPerBurst && ctx.Err() == nil; q++ {
+			col.add(r.issue(ctx, base, id, gen))
+		}
+	}
+	burst()
+	idle := time.Duration(sc.Churn.IdleSec * float64(time.Second))
+	for i := 0; i < sc.Churn.Resumes && ctx.Err() == nil; i++ {
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(idle):
+		}
+		burst()
+		col.churn(func(rep *Report) { rep.SessionsResumed++ })
+	}
+	if ctx.Err() == nil && gen.rng.Float64() < sc.Churn.CloseRatio {
+		if r.closeSession(base, id) {
+			col.churn(func(rep *Report) { rep.SessionsClosed++ })
+		} else {
+			col.churn(func(rep *Report) { rep.ChurnErrors++ })
+		}
+	}
+}
+
 // runOpen issues arrivals at the scenario rate, shedding (and counting)
 // arrivals beyond MaxInFlight instead of queueing them — queueing would
 // silently convert an open-loop test into a closed-loop one.
-func (r *Runner) runOpen(ctx context.Context, base string, sessions []string, sc *Scenario, cold *atomic.Uint64, col *collector) {
+func (r *Runner) runOpen(ctx context.Context, sessions []target, sc *Scenario, cold *atomic.Uint64, col *collector) {
 	interval := time.Duration(float64(time.Second) / sc.Rate)
 	if interval <= 0 {
 		interval = time.Microsecond
@@ -479,7 +642,7 @@ func (r *Runner) runOpen(ctx context.Context, base string, sessions []string, sc
 				col.mu.Unlock()
 				continue
 			}
-			id := sessions[int(next.Add(1))%len(sessions)]
+			t := sessions[int(next.Add(1))%len(sessions)]
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
@@ -491,7 +654,7 @@ func (r *Runner) runOpen(ctx context.Context, base string, sessions []string, sc
 				var isBatch bool
 				payload, isBatch = gen.payload()
 				genMu.Unlock()
-				col.add(r.send(ctx, base, id, payload, isBatch))
+				col.add(r.send(ctx, t.base, t.id, payload, isBatch))
 			}()
 		}
 	}
@@ -608,6 +771,22 @@ func (r *Runner) createSession(ctx context.Context, base string, params map[stri
 		return "", fmt.Errorf("status %d: %s", resp.StatusCode, created.Error)
 	}
 	return created.ID, nil
+}
+
+// closeSession deletes one session, reporting success. It deliberately
+// takes no context: end-of-run cleanup must still run after the measured
+// window's context has expired.
+func (r *Runner) closeSession(base, id string) bool {
+	req, err := http.NewRequest(http.MethodDelete, base+"/v1/sessions/"+id, nil)
+	if err != nil {
+		return false
+	}
+	resp, err := r.client().Do(req)
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
 }
 
 // summarize computes the latency distribution.

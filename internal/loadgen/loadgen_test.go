@@ -33,8 +33,22 @@ func TestScenarioDefaults(t *testing.T) {
 	if err := (Scenario{}).Validate(); err == nil {
 		t.Fatal("scenario without base_url validated")
 	}
+	if err := (Scenario{BaseURLs: []string{"http://x"}}).Validate(); err != nil {
+		t.Fatalf("base_urls-only scenario rejected: %v", err)
+	}
 	if err := (Scenario{BaseURL: "http://x", Mode: "sideways"}).Validate(); err == nil {
 		t.Fatal("unknown mode validated")
+	}
+	// Churn defaults materialize only in churn mode.
+	churn := Scenario{BaseURL: "http://x", Mode: "churn"}.normalized()
+	if c := churn.Churn; c == nil || c.QueriesPerBurst != 4 || c.IdleSec != 0.5 || c.Resumes != 1 || c.CloseRatio != 0.5 {
+		t.Fatalf("churn defaults = %+v", churn.Churn)
+	}
+	if c := (Scenario{BaseURL: "http://x", Mode: "churn", Churn: &ChurnConfig{CloseRatio: -1}}).normalized().Churn; c.CloseRatio != 0 {
+		t.Fatalf("explicit never-close ratio normalized to %v, want 0", c.CloseRatio)
+	}
+	if (Scenario{BaseURL: "http://x"}).normalized().Churn != nil {
+		t.Fatal("closed-mode scenario grew a churn config")
 	}
 }
 
@@ -240,6 +254,56 @@ func TestCheckServerConsistencyBounds(t *testing.T) {
 	rep.Status5xx = 1
 	if err := rep.CheckServerConsistency(); err == nil {
 		t.Fatal("server missing client-observed 5xx accepted")
+	}
+}
+
+// TestRunChurnMultiTarget drives two replicas at once in churn mode: the
+// workload cycles session lifetimes round-robin across the endpoints, and
+// the server-side consistency check runs against the SUM of both
+// replicas' /metrics — the same shape the fleet CI job uses (drive the
+// router, scrape the replicas).
+func TestRunChurnMultiTarget(t *testing.T) {
+	a, b := startService(t, true), startService(t, true)
+	rep, err := (&Runner{}).Run(context.Background(), Scenario{
+		BaseURLs:    []string{a.URL, b.URL},
+		MetricsURLs: []string{a.URL, b.URL},
+		Mode:        "churn",
+		DurationSec: 0.8,
+		Sessions:    4,
+		HotRatio:    0.8,
+		HotKeys:     4,
+		Churn:       &ChurnConfig{QueriesPerBurst: 3, IdleSec: 0.05, Resumes: 1, CloseRatio: 0.5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionsCreated == 0 || rep.SessionsResumed == 0 {
+		t.Fatalf("churn lifecycle never cycled: %+v", rep)
+	}
+	if rep.ChurnErrors != 0 {
+		t.Fatalf("%d churn lifecycle errors: %+v", rep.ChurnErrors, rep)
+	}
+	if rep.Queries == 0 {
+		t.Fatalf("no traffic measured: %+v", rep)
+	}
+	if rep.Status5xx != 0 || rep.TransportErrors != 0 {
+		t.Fatalf("server faults under churn: %+v", rep)
+	}
+	if rep.Server == nil || !rep.Server.Supported {
+		t.Fatalf("merged server metrics not collected: %+v", rep.Server)
+	}
+	if err := rep.CheckServerConsistency(); err != nil {
+		t.Fatalf("fleet-summed consistency: %v", err)
+	}
+	// Both replicas saw sessions: round-robin assignment is real fan-out.
+	for name, ts := range map[string]*httptest.Server{"a": a, "b": b} {
+		snap, err := (&Runner{}).scrapeMetrics(context.Background(), ts.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.sum("pmwcm_queries_total", nil) == 0 {
+			t.Fatalf("replica %s served no queries", name)
+		}
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
 )
 
 // metricsSnapshot mirrors the obs JSON exposition shape loadgen reads.
@@ -77,6 +78,24 @@ func (r *Runner) scrapeMetrics(ctx context.Context, base string) (*metricsSnapsh
 		return nil, fmt.Errorf("loadgen: decoding /metrics: %w", err)
 	}
 	return &snap, nil
+}
+
+// scrapeAll fetches and merges one snapshot per URL. sum() walks every
+// family, so concatenating the families makes the merged snapshot report
+// fleet-wide totals — the server-side view of a run driven through a
+// router is the SUM over its replicas. Any failed scrape fails the whole
+// merge: a partial fleet view would silently unbalance the consistency
+// check.
+func (r *Runner) scrapeAll(ctx context.Context, urls []string) (*metricsSnapshot, error) {
+	merged := &metricsSnapshot{}
+	for _, u := range urls {
+		snap, err := r.scrapeMetrics(ctx, strings.TrimRight(u, "/"))
+		if err != nil {
+			return nil, err
+		}
+		merged.Families = append(merged.Families, snap.Families...)
+	}
+	return merged, nil
 }
 
 // ServerMetrics is the server's own view of the measured window: deltas

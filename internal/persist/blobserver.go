@@ -1,0 +1,258 @@
+// BlobServer is the serving side of the Remote backend: a small,
+// namespace-partitioned blob store over a directory tree, spoken over
+// HTTP by `pmwcm store`. One store process holds the state of a whole
+// fleet — each serve replica gets its own namespace (a subdirectory), so
+// replicas never collide on manifest.json while an operator still backs
+// up or inspects one flat tree.
+//
+// The server reuses the state-dir discipline: writes are atomic
+// (temp + fsync + rename through the fault.FS seam), reads stamp a
+// content fingerprint header for end-to-end verification, and names are
+// validated against the same character set as session ids so a request
+// can never escape the root directory.
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+)
+
+// maxBlobBytes caps a single blob (and a Remote response body). Session
+// state grows with the transcript; 64 MiB is ~two orders of magnitude
+// above the largest state the load tests produce.
+const maxBlobBytes = 64 << 20
+
+// BlobServer serves GET/PUT/DELETE/list over namespaced blobs rooted at a
+// directory. Safe for concurrent use: atomic rename is the commit point,
+// concurrent writers to one name last-write-win whole files, which is the
+// same contract the state dir gives two processes pointed at it.
+type BlobServer struct {
+	root string
+	fsys fault.FS
+	met  *blobMetrics
+}
+
+type blobMetrics struct {
+	reqs  map[string]*obs.Counter // by op: get/put/delete/list
+	bytes map[string]*obs.Counter // by op: get/put
+}
+
+// NewBlobServer creates the root directory if needed and returns a server
+// over it. A nil fsys uses the real filesystem.
+func NewBlobServer(root string, fsys fault.FS) (*BlobServer, error) {
+	if root == "" {
+		return nil, fmt.Errorf("persist: empty blob root")
+	}
+	if fsys == nil {
+		fsys = fault.OS
+	}
+	if err := fsys.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: creating blob root: %w", err)
+	}
+	return &BlobServer{root: root, fsys: fsys}, nil
+}
+
+// Root returns the blob root directory.
+func (b *BlobServer) Root() string { return b.root }
+
+// Instrument attaches pmwcm_blob_requests_total{op} and
+// pmwcm_blob_bytes_total{op} counters. Call once before serving.
+func (b *BlobServer) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &blobMetrics{reqs: map[string]*obs.Counter{}, bytes: map[string]*obs.Counter{}}
+	for _, op := range []string{"get", "put", "delete", "list"} {
+		m.reqs[op] = reg.Counter("pmwcm_blob_requests_total",
+			"Blob store requests served, by operation.", obs.Labels{"op": op})
+	}
+	for _, op := range []string{"get", "put"} {
+		m.bytes[op] = reg.Counter("pmwcm_blob_bytes_total",
+			"Blob bytes transferred, by operation.", obs.Labels{"op": op})
+	}
+	b.met = m
+}
+
+func (b *BlobServer) count(op string, n int) {
+	if b.met == nil {
+		return
+	}
+	b.met.reqs[op].Inc()
+	if c, ok := b.met.bytes[op]; ok {
+		c.Add(uint64(n))
+	}
+}
+
+// Handler returns the blob API mux:
+//
+//	GET    /v1/stores/{ns}/blobs        → {"blobs": [names...]}
+//	GET    /v1/stores/{ns}/blobs/{name} → blob bytes + fingerprint header
+//	PUT    /v1/stores/{ns}/blobs/{name} → atomic durable replace
+//	DELETE /v1/stores/{ns}/blobs/{name} → idempotent delete
+func (b *BlobServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/stores/{ns}/blobs", b.handleList)
+	mux.HandleFunc("GET /v1/stores/{ns}/blobs/{name}", b.handleGet)
+	mux.HandleFunc("PUT /v1/stores/{ns}/blobs/{name}", b.handlePut)
+	mux.HandleFunc("DELETE /v1/stores/{ns}/blobs/{name}", b.handleDelete)
+	return mux
+}
+
+// blobError is the typed error document blob handlers return.
+func blobError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// blobPath validates the namespace and name and maps them under the root.
+// Both segments pass the session-id character set (no separators, no
+// leading dot), so the join cannot traverse out of root.
+func (b *BlobServer) blobPath(ns, name string) (string, error) {
+	if err := validID(ns); err != nil {
+		return "", fmt.Errorf("invalid namespace %q", ns)
+	}
+	if err := validID(name); err != nil {
+		return "", fmt.Errorf("invalid blob name %q", name)
+	}
+	return filepath.Join(b.root, ns, name), nil
+}
+
+func (b *BlobServer) handleList(w http.ResponseWriter, r *http.Request) {
+	ns := r.PathValue("ns")
+	if err := validID(ns); err != nil {
+		blobError(w, http.StatusBadRequest, fmt.Sprintf("invalid namespace %q", ns))
+		return
+	}
+	entries, err := b.fsys.ReadDir(filepath.Join(b.root, ns))
+	if err != nil && !errors.Is(err, fs.ErrNotExist) {
+		blobError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	names := []string{}
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), tmpPrefix) {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	b.count("list", 0)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"blobs": names})
+}
+
+func (b *BlobServer) handleGet(w http.ResponseWriter, r *http.Request) {
+	path, err := b.blobPath(r.PathValue("ns"), r.PathValue("name"))
+	if err != nil {
+		blobError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	data, err := b.fsys.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		blobError(w, http.StatusNotFound, "no such blob")
+		return
+	}
+	if err != nil {
+		blobError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	b.count("get", len(data))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(FingerprintHeader, Fingerprint64(data))
+	w.Write(data)
+}
+
+func (b *BlobServer) handlePut(w http.ResponseWriter, r *http.Request) {
+	ns, name := r.PathValue("ns"), r.PathValue("name")
+	path, err := b.blobPath(ns, name)
+	if err != nil {
+		blobError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	data, err := io.ReadAll(io.LimitReader(r.Body, maxBlobBytes+1))
+	if err != nil {
+		blobError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	if len(data) > maxBlobBytes {
+		blobError(w, http.StatusRequestEntityTooLarge, "blob exceeds size cap")
+		return
+	}
+	dir := filepath.Dir(path)
+	if err := b.fsys.MkdirAll(dir, 0o755); err != nil {
+		blobError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if err := writeAtomicFS(b.fsys, dir, path, data); err != nil {
+		blobError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	b.count("put", len(data))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"saved":       true,
+		"bytes":       len(data),
+		"fingerprint": Fingerprint64(data),
+	})
+}
+
+func (b *BlobServer) handleDelete(w http.ResponseWriter, r *http.Request) {
+	path, err := b.blobPath(r.PathValue("ns"), r.PathValue("name"))
+	if err != nil {
+		blobError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := b.fsys.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		blobError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	b.count("delete", 0)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"deleted": true})
+}
+
+// writeAtomicFS is writeAtomic without a *Store: temp file in the target
+// directory, write, fsync, close, rename. The blob server shares the
+// crash-safety contract of the state dir.
+func writeAtomicFS(fsys fault.FS, dir, path string, data []byte) error {
+	tmp, err := fsys.CreateTemp(dir, tmpPrefix+"*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp file: %w", err)
+	}
+	tmpName := tmp.Name()
+	_, werr := tmp.Write(data)
+	serr := tmp.Sync()
+	cerr := tmp.Close()
+	for _, err := range []error{werr, serr, cerr} {
+		if err != nil {
+			fsys.Remove(tmpName)
+			return fmt.Errorf("persist: writing %s: %w", filepath.Base(path), err)
+		}
+	}
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
+		return fmt.Errorf("persist: committing %s: %w", filepath.Base(path), err)
+	}
+	return nil
+}
+
+// decodeJSON strictly decodes one JSON document.
+func decodeJSON(data []byte, out any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(out); err != nil {
+		return err
+	}
+	return nil
+}

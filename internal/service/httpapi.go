@@ -49,13 +49,14 @@ func NewHandler(m *Manager) http.Handler {
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Health{
-			OK:           true,
-			UptimeSec:    time.Since(m.Started()).Seconds(),
-			OpenSessions: m.OpenSessions(),
-			Universe:     m.Universe().String(),
-			Durable:      m.Durable(),
-			StateDir:     m.StateDir(),
-			WAL:          m.WALMode(),
+			OK:               true,
+			UptimeSec:        time.Since(m.Started()).Seconds(),
+			OpenSessions:     m.OpenSessions(),
+			ResidentSessions: m.ResidentSessions(),
+			Universe:         m.Universe().String(),
+			Durable:          m.Durable(),
+			StateDir:         m.StateDir(),
+			WAL:              m.WALMode(),
 		})
 	})
 
@@ -101,26 +102,21 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
-		s, err := m.Session(r.PathValue("id"))
+		st, err := m.SessionStatus(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, s.Status())
+		writeJSON(w, http.StatusOK, st)
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{id}/query", func(w http.ResponseWriter, r *http.Request) {
-		s, err := m.Session(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
 		var spec convex.Spec
 		if err := decodeBody(w, r, &spec); err != nil {
 			writeError(w, err)
 			return
 		}
-		res, err := s.Query(spec)
+		res, err := m.Query(r.PathValue("id"), spec)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -129,11 +125,6 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{id}/queries:batch", func(w http.ResponseWriter, r *http.Request) {
-		s, err := m.Session(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
 		var req BatchRequest
 		if err := decodeBody(w, r, &req); err != nil {
 			writeError(w, err)
@@ -147,7 +138,7 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, fmt.Errorf("service: batch of %d queries exceeds limit %d", len(req.Queries), MaxBatchSize))
 			return
 		}
-		items, err := s.QueryBatch(req.Queries)
+		items, err := m.QueryBatch(r.PathValue("id"), req.Queries)
 		if err != nil {
 			writeError(w, err)
 			return
@@ -156,12 +147,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("POST /v1/sessions/{id}/snapshot", func(w http.ResponseWriter, r *http.Request) {
-		s, err := m.Session(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		if err := s.Checkpoint(); err != nil {
+		if err := m.CheckpointSession(r.PathValue("id")); err != nil {
 			writeError(w, err)
 			return
 		}
@@ -169,12 +155,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 
 	mux.HandleFunc("GET /v1/sessions/{id}/transcript", func(w http.ResponseWriter, r *http.Request) {
-		s, err := m.Session(r.PathValue("id"))
-		if err != nil {
-			writeError(w, err)
-			return
-		}
-		data, err := s.TranscriptJSON()
+		data, err := m.SessionTranscript(r.PathValue("id"))
 		if err != nil {
 			writeError(w, err)
 			return
@@ -204,8 +185,11 @@ type Health struct {
 	OK bool `json:"ok"`
 	// UptimeSec is the seconds since the manager was constructed.
 	UptimeSec float64 `json:"uptime_sec"`
-	// OpenSessions counts currently open sessions.
-	OpenSessions int `json:"open_sessions"`
+	// OpenSessions counts currently open sessions; ResidentSessions the
+	// subset holding memory (the rest is evicted to the store and paged in
+	// on touch).
+	OpenSessions     int `json:"open_sessions"`
+	ResidentSessions int `json:"resident_sessions"`
 	// Universe describes the public data universe.
 	Universe string `json:"universe"`
 	// Durable reports whether sessions checkpoint to a state directory;
@@ -290,11 +274,14 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrSessionNotFound):
 		return http.StatusNotFound
-	case errors.Is(err, ErrSessionClosed):
+	case errors.Is(err, ErrSessionClosed), errors.Is(err, ErrSessionExists):
 		return http.StatusConflict
 	case errors.Is(err, ErrBudgetExhausted):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown):
+	case errors.Is(err, ErrTooManySessions), errors.Is(err, ErrShuttingDown), errors.Is(err, ErrPagedOut):
+		// ErrPagedOut surfaces only when page-in retries were exhausted
+		// under extreme eviction pressure — a transient overload, so the
+		// client should retry.
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrNotDurable):
 		// Snapshot requested of a memory-only server: the feature is not

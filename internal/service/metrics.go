@@ -34,6 +34,9 @@ type svcMetrics struct {
 	// batches counts batch requests; batchSize observes their shapes.
 	batches   *obs.Counter
 	batchSize *obs.Histogram
+	// evictions/pageins count residency transitions: sessions folded out
+	// of memory and sessions restored back in on touch.
+	evictions, pageins *obs.Counter
 }
 
 // newSvcMetrics builds the manager's instruments (all nil when reg is).
@@ -48,6 +51,10 @@ func newSvcMetrics(reg *obs.Registry) *svcMetrics {
 		batches: reg.Counter("pmwcm_batches_total", "Batch query requests served.", nil),
 		batchSize: reg.Histogram("pmwcm_batch_size",
 			"Queries per batch request.", obs.SizeBuckets, nil),
+		evictions: reg.Counter("pmwcm_session_evictions_total",
+			"Sessions evicted from residency (folded into the store, dropped from memory).", nil),
+		pageins: reg.Counter("pmwcm_session_pageins_total",
+			"Paged-out sessions restored into memory on touch.", nil),
 	}
 }
 
@@ -85,6 +92,18 @@ func (m *svcMetrics) batch(size int) {
 	}
 }
 
+func (m *svcMetrics) evicted() {
+	if m != nil {
+		m.evictions.Inc()
+	}
+}
+
+func (m *svcMetrics) pagedIn() {
+	if m != nil {
+		m.pageins.Inc()
+	}
+}
+
 // Metrics returns the registry the manager was configured with (nil when
 // observability is off).
 func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
@@ -93,13 +112,13 @@ func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
 // healthz uptime report.
 func (m *Manager) Started() time.Time { return m.started }
 
-// StateDir returns the durable state directory path ("" when the manager
-// is memory-only).
+// StateDir returns the durable store's location — a state directory path
+// or a remote store URL ("" when the manager is memory-only).
 func (m *Manager) StateDir() string {
 	if m.cfg.Store == nil {
 		return ""
 	}
-	return m.cfg.Store.Dir()
+	return m.cfg.Store.Location()
 }
 
 // WALMode reports whether the manager runs its write path through
@@ -107,11 +126,14 @@ func (m *Manager) StateDir() string {
 func (m *Manager) WALMode() bool { return m.cfg.WAL }
 
 // SessionAccountant resolves a session id to its accountant name for log
-// enrichment. It reads only immutable creation parameters, so it is safe
-// and cheap on every request.
+// enrichment. It reads only immutable creation parameters of *resident*
+// sessions — deliberately not through Manager.Session, which would page
+// an evicted session back in just to label a log line.
 func (m *Manager) SessionAccountant(id string) (string, bool) {
-	s, err := m.Session(id)
-	if err != nil {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	m.mu.Unlock()
+	if !ok {
 		return "", false
 	}
 	return s.params.Accountant, true
@@ -124,11 +146,16 @@ func (m *Manager) SessionAccountant(id string) (string, bool) {
 func (m *Manager) collect(emit func(obs.Sample)) {
 	m.mu.Lock()
 	open, retained := m.open, len(m.closedIDs)
+	resident, paged := m.residentLive, len(m.pagedOut)
 	m.mu.Unlock()
 	emit(obs.Sample{Name: "pmwcm_sessions_open",
 		Help: "Currently open sessions.", Value: float64(open)})
 	emit(obs.Sample{Name: "pmwcm_sessions_retained_closed",
 		Help: "Closed sessions retained for status/transcript reads.", Value: float64(retained)})
+	emit(obs.Sample{Name: "pmwcm_sessions_resident",
+		Help: "Live sessions currently holding memory.", Value: float64(resident)})
+	emit(obs.Sample{Name: "pmwcm_sessions_paged_out",
+		Help: "Open sessions evicted to the store, paged in on next touch.", Value: float64(paged)})
 	emit(obs.Sample{Name: "pmwcm_uptime_seconds",
 		Help: "Seconds since the manager was constructed.", Value: time.Since(m.started).Seconds()})
 

@@ -80,6 +80,9 @@ var (
 	ErrBudgetExhausted = errors.New("service: session budget exhausted")
 	// ErrTooManySessions: the manager's open-session limit is reached.
 	ErrTooManySessions = errors.New("service: session limit reached")
+	// ErrSessionExists: a caller-chosen session id collides with a live,
+	// paged-out, or retained-closed session.
+	ErrSessionExists = errors.New("service: session already exists")
 	// ErrShuttingDown: the manager has been shut down.
 	ErrShuttingDown = errors.New("service: manager is shut down")
 	// ErrNotDurable: a snapshot was requested but the manager has no state
@@ -96,6 +99,12 @@ var (
 // SessionParams are the per-session mechanism parameters. Zero fields take
 // the manager's defaults at creation time.
 type SessionParams struct {
+	// ID optionally pins the session's identifier instead of taking a
+	// manager-issued sequential one. The routing front door uses this to
+	// place a session on the replica its id hashes to before the session
+	// exists. Ids share the store's naming rules (persist.ValidateID); a
+	// collision with any known session fails with ErrSessionExists.
+	ID string `json:"id,omitempty"`
 	// Eps, Delta is the session's total privacy budget.
 	Eps   float64 `json:"eps,omitempty"`
 	Delta float64 `json:"delta,omitempty"`
@@ -221,8 +230,11 @@ type Config struct {
 	// New recovers every stored session — live ones resume mid-interaction
 	// bit-identically, closed ones stay readable for audits. Nil serves
 	// from memory only. The store's manifest pins a fingerprint of Data;
-	// opening old state over a different dataset fails.
-	Store *persist.Store
+	// opening old state over a different dataset fails. Any
+	// persist.Backend works: the state-directory Store, or a Remote
+	// against a `pmwcm store` blob endpoint (which has no WAL support —
+	// see WAL below).
+	Store persist.Backend
 	// WAL (requires Store) switches the per-⊤ durable point from a full
 	// state rewrite to an append-only per-session log with manager-level
 	// group commit: each event appends one small record, concurrent
@@ -243,6 +255,15 @@ type Config struct {
 	// CompactBytes likewise triggers compaction on WAL file size
 	// (0 = 1 MiB).
 	CompactBytes int64
+	// MaxResident (requires Store) caps how many live sessions hold
+	// memory at once: past the cap the least-recently-touched sessions
+	// are evicted — folded into their durable snapshots and dropped from
+	// memory — and paged back in through the recovery path on their next
+	// touch. 0 disables eviction (every open session stays resident).
+	MaxResident int
+	// IdleTTL (requires Store) evicts live sessions untouched for this
+	// long, independent of MaxResident. 0 disables the idle sweep.
+	IdleTTL time.Duration
 	// Metrics enables observability: the manager records query
 	// dispositions and batch shapes into the registry and registers a
 	// scrape-time collector for session counts and per-session /
@@ -274,6 +295,16 @@ type Manager struct {
 	closedIDs []string // closed sessions in close order, for eviction
 	open      int
 	shutdown  bool
+
+	// Residency state (see evict.go). sessions holds only *resident*
+	// sessions; pagedOut marks open sessions that live solely in the
+	// store; paging gates ids with an eviction or page-in in flight;
+	// residentLive counts live (non-closed) resident sessions — the
+	// number MaxResident bounds.
+	pagedOut     map[string]bool
+	paging       map[string]chan struct{}
+	residentLive int
+	janitorStop  chan struct{}
 }
 
 // New validates cfg and constructs an empty Manager.
@@ -303,6 +334,12 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.WAL && cfg.Store == nil {
 		return nil, fmt.Errorf("service: WAL mode requires a state directory (Config.Store)")
 	}
+	if cfg.WAL && !cfg.Store.SupportsWAL() {
+		return nil, fmt.Errorf("service: store %s does not support per-session WALs (use snapshot checkpoints)", cfg.Store.Location())
+	}
+	if (cfg.MaxResident > 0 || cfg.IdleTTL > 0) && cfg.Store == nil {
+		return nil, fmt.Errorf("service: session eviction requires a durable store (Config.Store)")
+	}
 	if cfg.CompactEvery <= 0 {
 		cfg.CompactEvery = 256
 	}
@@ -314,6 +351,8 @@ func New(cfg Config) (*Manager, error) {
 		met:      newSvcMetrics(cfg.Metrics),
 		started:  time.Now(),
 		sessions: map[string]*Session{},
+		pagedOut: map[string]bool{},
+		paging:   map[string]chan struct{}{},
 	}
 	if cfg.WAL {
 		m.com = persist.NewGroupCommitter(cfg.CommitWindow)
@@ -324,6 +363,13 @@ func New(cfg Config) (*Manager, error) {
 			m.com.Close()
 			return nil, err
 		}
+		// Recovery may have restored more live sessions than the residency
+		// cap allows (WAL-holders restore eagerly); sweep down to the cap.
+		m.enforceResident("")
+	}
+	if cfg.IdleTTL > 0 {
+		m.janitorStop = make(chan struct{})
+		go m.janitor()
 	}
 	if cfg.Metrics != nil {
 		cfg.Metrics.RegisterCollector(m.collect)
@@ -367,8 +413,8 @@ func (m *Manager) recover() error {
 		}
 	} else {
 		if man.Dataset != m.fp {
-			return fmt.Errorf("service: state directory %s belongs to a different dataset (manifest %+v, have %+v)",
-				m.cfg.Store.Dir(), man.Dataset, m.fp)
+			return fmt.Errorf("service: store %s belongs to a different dataset (manifest %+v, have %+v)",
+				m.cfg.Store.Location(), man.Dataset, m.fp)
 		}
 		// Resume the root noise stream from the recorded position — not
 		// from the configured source, which a restart rewinds to its seed.
@@ -428,6 +474,18 @@ func (m *Manager) recover() error {
 		if evicted[st.ID] {
 			continue
 		}
+		if m.cfg.MaxResident > 0 && !st.Closed && !m.cfg.Store.HasWAL(st.ID) {
+			// Residency-capped start: a live session whose snapshot is
+			// complete (no WAL tail to fold) recovers lazily — it counts as
+			// open but stays paged out, and its (expensive) restore plus
+			// ledger re-verification runs at first touch through the very
+			// same restoreOne path. Sessions with a log tail restore eagerly
+			// so the tail is folded exactly once; the enforceResident sweep
+			// after recovery pushes any excess back out.
+			m.pagedOut[st.ID] = true
+			m.open++
+			continue
+		}
 		// The WAL tail is replayed whether or not this manager runs in WAL
 		// mode, so toggling the flag between restarts never strands
 		// records. (A snapshot-only session simply has no WAL file.)
@@ -464,6 +522,7 @@ func (m *Manager) recover() error {
 			m.closedIDs = append(m.closedIDs, st.ID)
 		} else {
 			m.open++
+			m.residentLive++
 		}
 	}
 	return nil
@@ -601,12 +660,18 @@ func (m *Manager) Universe() universe.Universe { return m.cfg.Data.U }
 func (m *Manager) Defaults() SessionParams { return m.cfg.Defaults }
 
 // CreateSession opens a new session; zero fields of req take the manager's
-// defaults. It fails with ErrTooManySessions at the open-session limit and
-// ErrShuttingDown after Shutdown.
+// defaults. It fails with ErrTooManySessions at the open-session limit,
+// ErrSessionExists when req.ID names a session the manager already knows,
+// and ErrShuttingDown after Shutdown.
 func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 	p := req.merged(m.cfg.Defaults)
 	if p.K > m.cfg.Limits.MaxK {
 		return nil, fmt.Errorf("service: session K = %d exceeds limit %d", p.K, m.cfg.Limits.MaxK)
+	}
+	if p.ID != "" {
+		if err := persist.ValidateID(p.ID); err != nil {
+			return nil, fmt.Errorf("service: session id %q: %w", p.ID, err)
+		}
 	}
 
 	m.mu.Lock()
@@ -618,9 +683,18 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		m.mu.Unlock()
 		return nil, ErrTooManySessions
 	}
-	m.seq++
+	id := p.ID
+	if id == "" {
+		// Manager-issued ids come off the manifest-pinned sequence; pinned
+		// ids never advance it (recovery re-derives seq only from "s-%d"
+		// names, so foreign names cannot collide with issued ones).
+		m.seq++
+		id = fmt.Sprintf("s-%06d", m.seq)
+	} else if _, dup := m.sessions[id]; dup || m.pagedOut[id] || m.paging[id] != nil {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s", ErrSessionExists, id)
+	}
 	seq := m.seq
-	id := fmt.Sprintf("s-%06d", seq)
 	src := m.cfg.Source.Split()
 	// Persist the issued sequence number and the advanced root-stream
 	// position before the session exists, still under the lock (concurrent
@@ -679,29 +753,71 @@ func (m *Manager) CreateSession(req SessionParams) (*Session, error) {
 		return nil, ErrShuttingDown
 	}
 	m.sessions[id] = s
+	m.residentLive++
 	m.mu.Unlock()
+	m.enforceResident(id)
 	return s, nil
 }
 
-// Session returns the session with the given id (open or closed).
+// Session returns the session with the given id (open or closed), paging
+// a paged-out session back into memory first. The returned handle is the
+// session's *current* resident incarnation; an eviction racing the caller
+// invalidates it with ErrPagedOut, which the manager-level operation
+// wrappers (Query, QueryBatch, …) absorb by retrying through a fresh
+// page-in.
 func (m *Manager) Session(id string) (*Session, error) {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
-	m.mu.Unlock()
-	if !ok {
-		return nil, ErrSessionNotFound
+	for {
+		m.mu.Lock()
+		if s, ok := m.sessions[id]; ok {
+			m.mu.Unlock()
+			s.touch()
+			return s, nil
+		}
+		if gate, ok := m.paging[id]; ok {
+			// An eviction or another caller's page-in is in flight; wait for
+			// it to settle and re-resolve.
+			m.mu.Unlock()
+			<-gate
+			continue
+		}
+		if !m.pagedOut[id] {
+			m.mu.Unlock()
+			return nil, ErrSessionNotFound
+		}
+		if m.shutdown {
+			// Paged-out sessions are already suspended on disk exactly as
+			// Shutdown leaves resident ones; do not revive them.
+			m.mu.Unlock()
+			return nil, ErrShuttingDown
+		}
+		gate := make(chan struct{})
+		m.paging[id] = gate
+		m.mu.Unlock()
+
+		s, err := m.pageIn(id)
+		m.mu.Lock()
+		if err == nil {
+			m.sessions[id] = s
+			delete(m.pagedOut, id)
+			m.residentLive++
+			m.met.pagedIn()
+		}
+		delete(m.paging, id)
+		m.mu.Unlock()
+		close(gate)
+		if err != nil {
+			return nil, fmt.Errorf("service: paging in session %s: %w", id, err)
+		}
+		s.touch()
+		m.enforceResident(id)
+		return s, nil
 	}
-	return s, nil
 }
 
 // CloseSession closes the identified session, freeing its slot. Closing an
 // already-closed session returns ErrSessionClosed.
 func (m *Manager) CloseSession(id string) error {
-	s, err := m.Session(id)
-	if err != nil {
-		return err
-	}
-	return s.Close()
+	return m.withSession(id, func(s *Session) error { return s.Close() })
 }
 
 // release frees a closed session's slot and bounds the closed-session
@@ -712,6 +828,9 @@ func (m *Manager) release(id string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.open--
+	// The closing session was necessarily resident and live (Close on a
+	// paged-out incarnation fails with ErrPagedOut before getting here).
+	m.residentLive--
 	if m.shutdown {
 		// Suspending sessions at shutdown must not enter the closed-backlog
 		// eviction below: suspended sessions are live on disk, and evicting
@@ -734,7 +853,10 @@ func (m *Manager) release(id string) {
 	}
 }
 
-// Statuses returns a snapshot of every session's status, ordered by id.
+// Statuses returns a snapshot of every *resident* session's status,
+// ordered by id. Paged-out sessions are deliberately excluded — listing
+// them would page every evicted session back in, defeating the residency
+// bound; their ids stay addressable through GET /v1/sessions/{id}.
 func (m *Manager) Statuses() []SessionStatus {
 	m.mu.Lock()
 	ids := make([]string, 0, len(m.sessions))
@@ -774,6 +896,9 @@ func (m *Manager) Shutdown() {
 		return
 	}
 	m.shutdown = true
+	if m.janitorStop != nil {
+		close(m.janitorStop)
+	}
 	sessions := make([]*Session, 0, len(m.sessions))
 	for _, s := range m.sessions {
 		sessions = append(sessions, s)

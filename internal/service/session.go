@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -46,7 +47,7 @@ type Session struct {
 	u       universe.Universe
 	created time.Time
 	oracle  string
-	store   *persist.Store // nil when the manager is memory-only
+	store   persist.Backend // nil when the manager is memory-only
 	// met are the manager's shared hot-path instruments (all-nil no-ops
 	// when metrics are disabled); cacheHits is this session's lifetime
 	// cache-served answer count, reported in SessionStatus.
@@ -63,6 +64,17 @@ type Session struct {
 	// closed flips once, under mu; it is atomic so the lock-free cache-hit
 	// path can observe it without waiting on an in-flight miss.
 	closed atomic.Bool
+
+	// pagedOut flips once, under mu, when the manager evicts the session
+	// from residency (evict); every subsequent operation on this object
+	// fails with ErrPagedOut, which the manager-level wrappers translate
+	// into a page-in plus retry. Unlike closed it is not permanent for the
+	// *session* — only for this in-memory incarnation of it.
+	pagedOut atomic.Bool
+
+	// lastTouch is the unix-nano time of the last manager-level access,
+	// the LRU clock idle eviction and -max-resident victim selection read.
+	lastTouch atomic.Int64
 
 	// view is the lock-free ledger snapshot served with cache-hit answers,
 	// republished under mu after every state change.
@@ -136,7 +148,7 @@ type ledgerView struct {
 	updatesMax                   int
 }
 
-func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store *persist.Store, met *svcMetrics, onClose func()) *Session {
+func newSession(id string, p SessionParams, srv *core.Server, u universe.Universe, created time.Time, oracle string, store persist.Backend, met *svcMetrics, onClose func()) *Session {
 	rec := transcript.NewRecorder(srv)
 	rec.T.Meta["eps"] = p.Eps
 	rec.T.Meta["delta"] = p.Delta
@@ -154,16 +166,20 @@ func newSession(id string, p SessionParams, srv *core.Server, u universe.Univers
 		rec:     rec,
 	}
 	s.cache.m = map[string]*cacheEntry{}
+	s.touch()
 	s.publishViewLocked()
 	return s
 }
+
+// touch advances the session's LRU clock.
+func (s *Session) touch() { s.lastTouch.Store(time.Now().UnixNano()) }
 
 // restoreSession rebuilds a Session around an already-restored recorder
 // (server + transcript), carrying over identity and the closed flag. The
 // answer cache is rebuilt from the transcript's recorded cache keys, so a
 // query already answered before the restart stays a zero-spend repeat
 // after it.
-func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store *persist.Store, met *svcMetrics, onClose func()) *Session {
+func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.Recorder, u universe.Universe, store persist.Backend, met *svcMetrics, onClose func()) *Session {
 	s := &Session{
 		id:      st.ID,
 		params:  p,
@@ -192,6 +208,7 @@ func restoreSession(st *persist.SessionState, p SessionParams, rec *transcript.R
 	}
 	s.savedSeq = len(rec.T.Events)
 	s.durableSeq.Store(int64(len(rec.T.Events)))
+	s.touch()
 	s.publishViewLocked()
 	return s
 }
@@ -244,6 +261,12 @@ func (s *Session) save(st *persist.SessionState, seq int, force bool) error {
 	}
 	s.saveMu.Lock()
 	defer s.saveMu.Unlock()
+	return s.saveLocked(st, seq, force)
+}
+
+// saveLocked is save's body for callers already holding saveMu (evict's
+// final fold shares the mutex hold with its log teardown).
+func (s *Session) saveLocked(st *persist.SessionState, seq int, force bool) error {
 	if seq < s.savedSeq || (!force && seq == s.savedSeq) {
 		return nil
 	}
@@ -421,6 +444,12 @@ func (s *Session) Checkpoint() error {
 	if s.store == nil {
 		return ErrNotDurable
 	}
+	if s.pagedOut.Load() {
+		// The eviction fold that set the flag leaves the session durable by
+		// construction; the retrying caller checkpoints the paged-in
+		// incarnation instead of racing the fold.
+		return ErrPagedOut
+	}
 	if s.walMode {
 		s.saveMu.Lock()
 		defer s.saveMu.Unlock()
@@ -509,6 +538,9 @@ func (s *Session) hitResult(e *cacheEntry) *QueryResult {
 // path so the release waits behind the write-ahead save — and
 // ErrSessionClosed for any query to a closed session, hit or not.
 func (s *Session) lookupCached(key string) (*QueryResult, error) {
+	if s.pagedOut.Load() {
+		return nil, ErrPagedOut
+	}
 	if s.closed.Load() {
 		return nil, ErrSessionClosed
 	}
@@ -606,6 +638,10 @@ func (s *Session) Query(spec convex.Spec) (*QueryResult, error) {
 		}
 	}
 	s.mu.Lock()
+	if s.pagedOut.Load() {
+		s.mu.Unlock()
+		return nil, ErrPagedOut
+	}
 	if s.closed.Load() {
 		s.mu.Unlock()
 		return nil, ErrSessionClosed
@@ -749,6 +785,7 @@ func (s *Session) QueryBatch(specs []convex.Spec) ([]BatchItem, error) {
 	// disjoint items.
 	done := make(chan error, 1)
 	go func() { done <- s.answerMisses(specs, keys, missIdx, items) }()
+	var pagedErr error
 	for i := range specs {
 		// Miss items belong to the goroutine above; canonicalization
 		// failures (keys[i] == "") already carry their error. Only the
@@ -758,14 +795,22 @@ func (s *Session) QueryBatch(specs []convex.Spec) ([]BatchItem, error) {
 			continue
 		}
 		res, err := s.lookupCached(keys[i])
-		if err != nil {
+		switch {
+		case errors.Is(err, ErrPagedOut):
+			// Eviction raced the batch: fail the batch as a whole so the
+			// manager pages the session back in and retries every item.
+			pagedErr = err
+		case err != nil:
 			items[i].Error = err.Error()
-		} else {
+		default:
 			items[i].Result = res
 		}
 	}
 	if err := <-done; err != nil {
 		return nil, err
+	}
+	if pagedErr != nil {
+		return nil, pagedErr
 	}
 	return items, nil
 }
@@ -803,6 +848,10 @@ func (s *Session) answerMisses(specs []convex.Spec, keys []string, missIdx []int
 		byKey[keys[i]] = b
 	}
 	s.mu.Lock()
+	if s.pagedOut.Load() {
+		s.mu.Unlock()
+		return ErrPagedOut
+	}
 	needSave := false
 	for _, i := range missIdx {
 		b := byKey[keys[i]]
@@ -985,6 +1034,10 @@ func (s *Session) TranscriptJSON() ([]byte, error) {
 // Closing twice returns ErrSessionClosed.
 func (s *Session) Close() error {
 	s.mu.Lock()
+	if s.pagedOut.Load() {
+		s.mu.Unlock()
+		return ErrPagedOut
+	}
 	if s.closed.Load() {
 		s.mu.Unlock()
 		return ErrSessionClosed

@@ -9,8 +9,14 @@
 # named files are matched by suffix, so callers pass repo-relative paths
 # like internal/persist/wal.go.
 #
-# CI gates wal.go and committer.go — the two files where an untested
-# branch is a durability bug waiting for a crash schedule to find it.
+# CI gates the durability core (wal.go, committer.go, backend.go) and
+# the routing core (route.go) — files where an untested branch is a
+# durability or availability bug waiting for a crash schedule to find it.
+#
+# Appended profiles carry one "mode:" header per test binary, so header
+# lines are skipped wherever they appear, and a profile with no data
+# lines at all fails loudly — an empty profile gating nothing must never
+# read as a pass.
 set -euo pipefail
 
 if [[ $# -lt 3 ]]; then
@@ -21,10 +27,20 @@ profile=$1
 min=$2
 shift 2
 
+if [[ ! -s "$profile" ]]; then
+    echo "covgate: $profile: missing or empty coverage profile" >&2
+    exit 1
+fi
+if ! grep -qv '^mode:' "$profile"; then
+    echo "covgate: $profile: no coverage data (only mode headers)" >&2
+    exit 1
+fi
+
 fail=0
 for want in "$@"; do
     line=$(awk -v want="$want" '
-        NR > 1 {
+        /^mode:/ { next }
+        {
             key = $1
             stmts[key] = $2
             if ($3 > 0) hit[key] = 1

@@ -5,7 +5,8 @@
 #   2. go vet ./...     : no vet diagnostics
 #   3. doccheck         : every internal package has a package doc comment,
 #                         and every exported symbol in internal/obs,
-#                         internal/persist, internal/service,
+#                         internal/persist, internal/route,
+#                         internal/service,
 #                         internal/universe, internal/vecmath,
 #                         internal/xeval, internal/fault, and
 #                         internal/fault/drill has a doc comment (the
@@ -14,7 +15,8 @@
 #                         engine substrate is what every new sweep builds
 #                         on, and the fault seam is load-bearing for every
 #                         durability claim, so all are held to the
-#                         strictest standard)
+#                         strictest standard; internal/route joins them
+#                         as the fleet's availability seam)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,14 +32,14 @@ go vet ./...
 pkgdoc_args=()
 for d in internal/*/; do
     case "$d" in
-        internal/obs/|internal/persist/|internal/service/) ;; # strict-checked below
+        internal/obs/|internal/persist/|internal/route/|internal/service/) ;; # strict-checked below
         internal/universe/|internal/vecmath/|internal/xeval/) ;; # strict-checked below
         internal/fault/) ;; # strict-checked below (with its nested drill package)
         *) pkgdoc_args+=(-pkgdoc "${d%/}") ;;
     esac
 done
 go run ./scripts/doccheck "${pkgdoc_args[@]}" \
-    internal/obs internal/persist internal/service \
+    internal/obs internal/persist internal/route internal/service \
     internal/universe internal/vecmath internal/xeval \
     internal/fault internal/fault/drill
 

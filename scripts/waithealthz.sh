@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# waithealthz.sh — poll an endpoint's /healthz until it answers 200.
+#
+#   waithealthz.sh BASE_URL [TRIES]
+#
+# Polls every 0.2s, TRIES times (default 50 → 10s). Exits 0 the moment
+# the endpoint is healthy, 1 with a diagnostic if it never comes up —
+# shared by every CI job that boots a pmwcm process instead of each
+# repeating its own curl loop.
+set -euo pipefail
+
+if [[ $# -lt 1 ]]; then
+    echo "usage: waithealthz.sh BASE_URL [TRIES]" >&2
+    exit 2
+fi
+base=${1%/}
+tries=${2:-50}
+
+for ((i = 0; i < tries; i++)); do
+    if curl -fsS "$base/healthz" >/dev/null 2>&1; then
+        exit 0
+    fi
+    sleep 0.2
+done
+echo "waithealthz: $base not healthy after $tries tries" >&2
+exit 1
